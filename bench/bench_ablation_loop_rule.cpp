@@ -1,0 +1,135 @@
+// Ablation A1 — the valley-free data-plane rule (the paper's central
+// mechanism, Section III-A). With the rule disabled, hop-by-hop deflection
+// loops even on the paper's 3-peer example and on generated topologies;
+// with the rule, every walk terminates loop-free (the theorem).
+
+#include <unordered_map>
+
+#include "bench_common.hpp"
+#include "core/walk.hpp"
+
+namespace {
+
+using namespace mifo;
+
+/// Deflecting walk WITHOUT the Tag-Check gate: at a congested default
+/// egress, deflect to the RIB neighbor with the most spare capacity,
+/// regardless of valley-freeness. Returns true iff the walk loops (exceeds
+/// the 2N hop bound without reaching the destination).
+bool unguarded_walk_loops(const topo::AsGraph& g,
+                          const bgp::DestRoutes& routes, AsId src,
+                          const core::UtilizationFn& util,
+                          double threshold) {
+  AsId cur = src;
+  if (!routes.best(cur).valid()) return false;
+  std::size_t hops = 0;
+  while (cur != routes.dest()) {
+    const bgp::Route& def = routes.best(cur);
+    AsId next = def.next_hop;
+    const LinkId def_link = g.link(cur, next);
+    if (util(def_link) >= threshold) {
+      AsId best = AsId::invalid();
+      double best_spare = 1.0 - util(def_link);
+      for (const auto& nb : g.neighbors(cur)) {
+        if (nb.as == next) continue;
+        if (!bgp::rib_route_from(g, routes, cur, nb.as)) continue;
+        const double spare = 1.0 - util(nb.link);
+        if (spare > best_spare) {
+          best = nb.as;
+          best_spare = spare;
+        }
+      }
+      if (best.valid()) next = best;
+    }
+    cur = next;
+    if (++hops > 2 * g.num_ases() + 2) return true;  // loop
+  }
+  return false;
+}
+
+void print_ablation() {
+  std::printf("=== Ablation A1: valley-free rule on the data plane ===\n");
+
+  // The paper's Fig. 2(a) worst case: every default congested.
+  topo::AsGraph fig2a(4);
+  fig2a.add_provider_customer(AsId(1), AsId(0));
+  fig2a.add_provider_customer(AsId(2), AsId(0));
+  fig2a.add_provider_customer(AsId(3), AsId(0));
+  fig2a.add_peering(AsId(1), AsId(2));
+  fig2a.add_peering(AsId(2), AsId(3));
+  fig2a.add_peering(AsId(3), AsId(1));
+  const auto routes2a = bgp::compute_routes(fig2a, AsId(0));
+  auto congested_defaults = [&fig2a](LinkId l) {
+    // The three direct customer links are congested, peer links idle.
+    return fig2a.link_to(l) == AsId(0) ? 0.95 : 0.0;
+  };
+  const bool fig2a_loops = unguarded_walk_loops(fig2a, routes2a, AsId(1),
+                                                congested_defaults, 0.7);
+  std::printf("Fig.2(a), rule OFF: %s\n",
+              fig2a_loops ? "LOOP (1->2->3->1->...)" : "no loop");
+  const auto guarded = core::mifo_walk(fig2a, routes2a,
+                                       std::vector<bool>(4, true), AsId(1),
+                                       congested_defaults);
+  std::printf("Fig.2(a), rule ON : delivered via");
+  for (const AsId as : guarded.path) std::printf(" %u", as.value());
+  std::printf(" (loop-free)\n\n");
+
+  // Generated topologies, adversarial random congestion.
+  const auto s = bench::load_scale(600, 0, 0, 100.0);
+  const auto g = bench::make_topology(s);
+  Rng rng(s.seed * 131 + 7);
+  std::size_t trials = 0;
+  std::size_t unguarded_loops = 0;
+  std::size_t guarded_loops = 0;
+  const std::vector<bool> all(g.num_ases(), true);
+  for (int t = 0; t < 20; ++t) {
+    const AsId dest(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
+    const auto routes = bgp::compute_routes(g, dest);
+    std::unordered_map<std::uint32_t, double> util_map;
+    Rng trial_rng = rng.split();
+    auto util = [&util_map, &trial_rng](LinkId l) -> double {
+      auto [it, inserted] = util_map.try_emplace(l.value(), 0.0);
+      if (inserted) it->second = trial_rng.bernoulli(0.6) ? 0.95 : 0.1;
+      return it->second;
+    };
+    for (std::uint32_t src = 0; src < g.num_ases(); src += 29) {
+      if (AsId(src) == dest || !routes.best(AsId(src)).valid()) continue;
+      ++trials;
+      if (unguarded_walk_loops(g, routes, AsId(src), util, 0.7)) {
+        ++unguarded_loops;
+      }
+      // The guarded walk MIFO_ASSERTs internally on a loop; reaching the
+      // destination is the pass condition.
+      const auto w = core::mifo_walk(g, routes, all, AsId(src), util);
+      if (!w.reachable) ++guarded_loops;
+    }
+  }
+  std::printf("generated topology (%zu walks, 60%% links congested):\n",
+              trials);
+  std::printf("  rule OFF: %zu walks looped (%.1f%%)\n", unguarded_loops,
+              100.0 * static_cast<double>(unguarded_loops) /
+                  static_cast<double>(trials));
+  std::printf("  rule ON : %zu walks looped (theorem: always 0)\n",
+              guarded_loops);
+}
+
+void BM_GuardedWalk(benchmark::State& state) {
+  const auto s = bench::load_scale(600, 0, 0, 100.0);
+  const auto g = bench::make_topology(s);
+  const auto routes = bgp::compute_routes(g, AsId(0));
+  const std::vector<bool> all(g.num_ases(), true);
+  auto util = [](LinkId l) { return (l.value() % 3 == 0) ? 0.9 : 0.1; };
+  std::uint32_t src = 1;
+  for (auto _ : state) {
+    auto w = core::mifo_walk(
+        g, routes, all,
+        AsId(1 + (src++ % static_cast<std::uint32_t>(g.num_ases() - 1))),
+        util);
+    benchmark::DoNotOptimize(w.path.size());
+  }
+}
+BENCHMARK(BM_GuardedWalk);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_ablation)

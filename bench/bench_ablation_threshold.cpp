@@ -1,0 +1,62 @@
+// Ablation A2 — congestion-threshold sweep. The paper leaves the congestion
+// definition open ("It is an open to different congestion definitions");
+// this sweep quantifies how the deflection trigger affects throughput,
+// offload and stability.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mifo;
+
+void print_ablation() {
+  const auto s = bench::load_scale(400, 8000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  const auto deployed = traffic::random_deployment(g.num_ases(), 0.5,
+                                                   s.seed * 7 + 5);
+
+  std::printf("=== Ablation A2: congestion threshold sweep (50%% depl.) ===\n");
+  std::printf("%-10s %10s %10s %10s %12s\n", "threshold", "mean", ">=500",
+              "offload", "avg switches");
+  for (const double thr : {0.3, 0.5, 0.7, 0.9}) {
+    sim::SimConfig cfg;
+    cfg.mode = sim::RoutingMode::Mifo;
+    cfg.congest_threshold = thr;
+    cfg.low_watermark = thr * 0.7;
+    sim::FluidSim fs(g, cfg);
+    fs.set_deployment(deployed);
+    const auto recs = fs.run(specs);
+    const auto sum = sim::summarize(recs);
+    double switches = 0.0;
+    for (const auto& r : recs) switches += r.path_switches;
+    std::printf("%-10.1f %9.0f %9.1f%% %9.1f%% %12.2f\n", thr,
+                sum.mean_throughput, 100.0 * sum.frac_at_500mbps,
+                100.0 * sum.offload,
+                switches / static_cast<double>(recs.size()));
+  }
+  std::printf("(BGP baseline mean for reference: %.0f Mbps)\n",
+              sim::summarize(
+                  bench::run_sim(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed))
+                  .mean_throughput);
+}
+
+void BM_ThresholdRun(benchmark::State& state) {
+  const auto s = bench::load_scale(400, 2000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  sim::SimConfig cfg;
+  cfg.mode = sim::RoutingMode::Mifo;
+  cfg.congest_threshold = static_cast<double>(state.range(0)) / 10.0;
+  cfg.low_watermark = cfg.congest_threshold * 0.7;
+  for (auto _ : state) {
+    sim::FluidSim fs(g, cfg);
+    fs.set_deployment(traffic::random_deployment(g.num_ases(), 0.5, 1));
+    benchmark::DoNotOptimize(fs.run(specs).size());
+  }
+}
+BENCHMARK(BM_ThresholdRun)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_ablation)

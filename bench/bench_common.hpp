@@ -1,0 +1,117 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints its paper-figure table(s) first (deterministic under
+// MIFO_SEED) and then runs its google-benchmark timings. Scale knobs come
+// from the environment so the experiments can be rerun at paper scale:
+//   MIFO_TOPO_N      topology size (ASes)
+//   MIFO_FLOWS       number of flows
+//   MIFO_DEST_POOL   distinct destination ASes (0 = unrestricted)
+//   MIFO_ARRIVAL     flow arrival rate (flows/s)
+//   MIFO_SEED        master seed
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "sim/fluid_sim.hpp"
+#include "sim/metrics.hpp"
+#include "topo/analysis.hpp"
+#include "topo/generator.hpp"
+#include "traffic/traffic.hpp"
+
+namespace mifo::bench {
+
+struct Scale {
+  std::size_t topo_n;
+  std::size_t flows;
+  std::size_t dest_pool;
+  double arrival;
+  std::uint64_t seed;
+};
+
+/// Defaults sized for single-core minutes; the paper ran 44,340 ASes and
+/// one million flows (document per-bench in EXPERIMENTS.md).
+inline Scale load_scale(std::size_t topo_n, std::size_t flows,
+                        std::size_t dest_pool, double arrival) {
+  Scale s;
+  s.topo_n = env_u64("MIFO_TOPO_N", topo_n);
+  s.flows = env_u64("MIFO_FLOWS", flows);
+  s.dest_pool = env_u64("MIFO_DEST_POOL", dest_pool);
+  s.arrival = env_double("MIFO_ARRIVAL", arrival);
+  s.seed = env_u64("MIFO_SEED", 1);
+  return s;
+}
+
+inline topo::AsGraph make_topology(const Scale& s) {
+  topo::GeneratorParams gp;
+  gp.num_ases = s.topo_n;
+  gp.seed = s.seed;
+  return topo::generate_topology(gp);
+}
+
+inline std::vector<traffic::FlowSpec> make_uniform(const topo::AsGraph& g,
+                                                   const Scale& s) {
+  traffic::TrafficParams tp;
+  tp.num_flows = s.flows;
+  tp.dest_pool = s.dest_pool;
+  tp.arrival_rate = s.arrival;
+  tp.seed = s.seed * 3 + 1;
+  return traffic::uniform_traffic(g, tp);
+}
+
+inline std::vector<sim::FlowRecord> run_sim(
+    const topo::AsGraph& g, const std::vector<traffic::FlowSpec>& specs,
+    sim::RoutingMode mode, double deploy_ratio, std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  sim::FluidSim fs(g, cfg);
+  fs.set_deployment(
+      traffic::random_deployment(g.num_ases(), deploy_ratio, seed * 7 + 5));
+  return fs.run(specs);
+}
+
+/// Prints a Fig. 5/6-style CDF table: rows are throughput bins, columns the
+/// schemes.
+inline void print_throughput_cdf(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const std::vector<sim::FlowRecord>*>>&
+        series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-18s", "Throughput(Mbps)");
+  for (const auto& [name, recs] : series) std::printf("%12s", name.c_str());
+  std::printf("\n");
+  std::vector<Cdf> cdfs;
+  cdfs.reserve(series.size());
+  for (const auto& [name, recs] : series) {
+    cdfs.push_back(sim::throughput_cdf(*recs));
+  }
+  for (int t = 0; t <= 1000; t += 100) {
+    std::printf("%-18d", t);
+    for (const auto& cdf : cdfs) {
+      std::printf("%11.1f%%", 100.0 * cdf.at(t));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", ">=500 Mbps");
+  for (const auto& [name, recs] : series) {
+    std::printf("%11.1f%%", 100.0 * sim::fraction_at_least(*recs, 500.0));
+  }
+  std::printf("\n");
+}
+
+}  // namespace mifo::bench
+
+/// Figure benches print their tables once, then hand over to the benchmark
+/// runner for the registered timing benchmarks.
+#define MIFO_BENCH_MAIN(print_figure_fn)                  \
+  int main(int argc, char** argv) {                       \
+    ::benchmark::Initialize(&argc, argv);                 \
+    print_figure_fn();                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

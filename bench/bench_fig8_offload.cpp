@@ -1,0 +1,46 @@
+// Fig. 8 — fraction of traffic offloaded to alternative paths as MIFO
+// deployment grows from 10% to 100%.
+//
+// Paper headlines: at full deployment about half the flows travel over
+// alternative paths; even 10% deployment offloads a non-trivial ~9%.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mifo;
+
+void print_fig8() {
+  const auto s = bench::load_scale(400, 8000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+
+  std::printf("=== Fig. 8: traffic offloaded to alternative paths ===\n");
+  std::printf("%-12s %22s\n", "deployment", "flows on alt paths (%)");
+  for (int pct = 10; pct <= 100; pct += 10) {
+    const auto recs = bench::run_sim(g, specs, sim::RoutingMode::Mifo,
+                                     pct / 100.0, s.seed);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d%%", pct);
+    std::printf("%-12s %21.1f%%\n", label,
+                100.0 * sim::offload_fraction(recs));
+  }
+  std::printf("paper: ~9%% at 10%% deployment, ~50%% at 100%%\n");
+}
+
+void BM_OffloadRun(benchmark::State& state) {
+  const auto s = bench::load_scale(400, 2000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  for (auto _ : state) {
+    auto recs = bench::run_sim(g, specs, sim::RoutingMode::Mifo,
+                               static_cast<double>(state.range(0)) / 100.0,
+                               s.seed);
+    benchmark::DoNotOptimize(sim::offload_fraction(recs));
+  }
+}
+BENCHMARK(BM_OffloadRun)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_fig8)

@@ -1,0 +1,49 @@
+// Fig. 9 — path-switch distribution (stability) under full MIFO deployment.
+//
+// Paper headlines: 67.7% of (switching) flows switch paths exactly once and
+// 97.5% at most twice — MIFO does not thrash traffic between paths.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mifo;
+
+void print_fig9() {
+  const auto s = bench::load_scale(400, 8000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  const auto recs =
+      bench::run_sim(g, specs, sim::RoutingMode::Mifo, 1.0, s.seed);
+  const auto dist = sim::switch_distribution(recs);
+
+  std::printf("=== Fig. 9: path switches per flow (switching flows) ===\n");
+  std::printf("%-12s %12s %12s\n", "#switches", "flows (%)", "paper (%)");
+  const char* paper[] = {"67.7", "29.8", "1.8", "0.7"};
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    std::printf("%-12llu %11.1f%% %11s%%\n",
+                static_cast<unsigned long long>(k),
+                100.0 * dist.fraction_of(k), k <= 4 ? paper[k - 1] : "-");
+  }
+  std::printf("%-12s %11.1f%% %11s%%\n", ">4",
+              100.0 * (1.0 - dist.fraction_at_most(4)), "0.0");
+  std::printf("switch<=2: %.1f%% (paper 97.5%%), switching flows: %llu of "
+              "%zu delivered\n",
+              100.0 * dist.fraction_at_most(2),
+              static_cast<unsigned long long>(dist.total()), recs.size());
+}
+
+void BM_StabilityRun(benchmark::State& state) {
+  const auto s = bench::load_scale(400, 2000, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  for (auto _ : state) {
+    auto recs = bench::run_sim(g, specs, sim::RoutingMode::Mifo, 1.0, s.seed);
+    benchmark::DoNotOptimize(sim::switch_distribution(recs).total());
+  }
+}
+BENCHMARK(BM_StabilityRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_fig9)

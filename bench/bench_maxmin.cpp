@@ -1,0 +1,64 @@
+// Ablation A5 — max–min solver and fluid-simulator scaling: the
+// progressive-filling allocator is the inner loop of every Fig. 5/6/8/9
+// experiment.
+
+#include <set>
+
+#include "bench_common.hpp"
+#include "sim/maxmin.hpp"
+
+namespace {
+
+using namespace mifo;
+
+void BM_MaxMin(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const auto links = static_cast<std::size_t>(state.range(1));
+  Rng rng(42);
+  std::vector<double> caps(links, 1000.0);
+  std::vector<std::vector<std::uint32_t>> paths(flows);
+  for (auto& p : paths) {
+    std::set<std::uint32_t> ls;
+    const std::size_t hops = 2 + rng.bounded(4);
+    while (ls.size() < hops) {
+      ls.insert(static_cast<std::uint32_t>(rng.bounded(links)));
+    }
+    p.assign(ls.begin(), ls.end());
+  }
+  for (auto _ : state) {
+    sim::MaxMinInput in;
+    in.flow_links = paths;
+    in.link_capacity = caps;
+    in.flow_cap = 1000.0;
+    auto rates = sim::max_min_rates(in);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_MaxMin)
+    ->Args({100, 200})
+    ->Args({1000, 2000})
+    ->Args({5000, 5000})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FluidSimEvents(benchmark::State& state) {
+  const auto s = bench::load_scale(400, static_cast<std::size_t>(state.range(0)),
+                                   64, 800.0);
+  const auto g = bench::make_topology(s);
+  const auto specs = bench::make_uniform(g, s);
+  for (auto _ : state) {
+    auto recs = bench::run_sim(g, specs, sim::RoutingMode::Mifo, 0.5, s.seed);
+    benchmark::DoNotOptimize(recs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * specs.size());
+}
+BENCHMARK(BM_FluidSimEvents)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void print_header() {
+  std::printf("=== Ablation A5: max-min solver / fluid simulator scaling ===\n"
+              "(items_per_second = flows allocated or simulated per second)\n");
+}
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_header)

@@ -1,0 +1,63 @@
+// Table I — attributes of the AS topology.
+//
+// Paper (UCLA IRL trace, Nov 2014): 44,340 nodes, 109,360 links,
+// 75,046 P/C (69%), 34,314 peering (31%). We print the same attributes for
+// the generated topology (default 10,000 ASes; MIFO_TOPO_N=44340 for paper
+// scale) plus the generator-calibration ratios.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mifo;
+
+void print_table1() {
+  const auto s = bench::load_scale(10000, 0, 0, 100.0);
+  topo::GeneratorParams gp;
+  gp.num_ases = s.topo_n;
+  gp.seed = s.seed;
+  const auto g = topo::generate_topology(gp);
+  const auto a = topo::attributes(g);
+
+  std::printf("=== Table I: attributes of the topology ===\n");
+  std::printf("%-12s %10s %10s %10s %14s\n", "source", "nodes", "links",
+              "P/C", "peering");
+  std::printf("%-12s %10s %10s %10s %14s\n", "paper", "44340", "109360",
+              "75046 (69%)", "34314 (31%)");
+  const double pc_pct =
+      100.0 * static_cast<double>(a.pc_links) / static_cast<double>(a.links);
+  std::printf("%-12s %10zu %10zu %7zu (%2.0f%%) %9zu (%2.0f%%)\n",
+              "generated", a.nodes, a.links, a.pc_links, pc_pct,
+              a.peering_links, 100.0 - pc_pct);
+  std::printf("avg degree %.2f (paper ~4.93), max degree %zu, tier1 %zu, "
+              "transit %zu, stubs %zu\n",
+              a.avg_degree, a.max_degree, a.tier1, a.transit, a.stubs);
+  std::printf("invariants: pc_acyclic=%d connected=%d\n",
+              topo::is_pc_acyclic(g) ? 1 : 0, topo::is_connected(g) ? 1 : 0);
+}
+
+void BM_GenerateTopology(benchmark::State& state) {
+  topo::GeneratorParams gp;
+  gp.num_ases = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = topo::generate_topology(gp);
+    benchmark::DoNotOptimize(g.num_adjacencies());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateTopology)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_TopologyAnalysis(benchmark::State& state) {
+  topo::GeneratorParams gp;
+  gp.num_ases = static_cast<std::size_t>(state.range(0));
+  const auto g = topo::generate_topology(gp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::is_pc_acyclic(g));
+    benchmark::DoNotOptimize(topo::is_connected(g));
+  }
+}
+BENCHMARK(BM_TopologyAnalysis)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_table1)

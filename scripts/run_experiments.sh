@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce every table/figure of the paper plus the ablations.
+#
+#   scripts/run_experiments.sh [build_dir] [out_file]
+#
+# Environment knobs (see bench/bench_common.hpp):
+#   MIFO_TOPO_N, MIFO_FLOWS, MIFO_DEST_POOL, MIFO_ARRIVAL, MIFO_SEED,
+#   MIFO_FLOW_MB (Fig. 12), MIFO_FLOWS_PER_PAIR (Fig. 12)
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_file="${2:-/dev/stdout}"
+
+{
+  for b in "${build_dir}"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "##### $b"
+    "$b"
+    echo
+  done
+} | tee "$out_file"

@@ -1,0 +1,128 @@
+#include "bgp/path_count.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mifo::bgp {
+
+namespace {
+
+/// True when `as` holds a customer route (or originates the prefix) — the
+/// condition under which it exports towards peers and providers, and the
+/// only kind of AS a Flat/Down step may enter.
+bool exports_upward(const DestRoutes& routes, AsId as) {
+  const RouteClass c = routes.best(as).cls;
+  return c == RouteClass::Customer || c == RouteClass::Self;
+}
+
+/// Best-path chains for BGP loop detection: chains[v] lists the ASes on
+/// v's announced (best) path, v first. An AS on a neighbor's chain never
+/// receives that announcement.
+std::vector<std::vector<std::uint32_t>> best_chains(
+    const topo::AsGraph& g, const DestRoutes& routes) {
+  std::vector<std::vector<std::uint32_t>> chains(g.num_ases());
+  for (std::uint32_t v = 0; v < g.num_ases(); ++v) {
+    if (!routes.best(AsId(v)).valid()) continue;
+    AsId hop(v);
+    chains[v].push_back(hop.value());
+    while (hop != routes.dest()) {
+      hop = routes.best(hop).next_hop;
+      chains[v].push_back(hop.value());
+    }
+  }
+  return chains;
+}
+
+bool poisoned(const std::vector<std::uint32_t>& chain, AsId importer) {
+  for (const std::uint32_t hop : chain) {
+    if (hop == importer.value()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PathCounts count_mifo_paths(const topo::AsGraph& g, const DestRoutes& routes,
+                            const std::vector<AsId>& order,
+                            const std::vector<bool>& deployed) {
+  const std::size_t n = g.num_ases();
+  MIFO_EXPECTS(order.size() == n);
+  MIFO_EXPECTS(deployed.size() == n);
+  MIFO_EXPECTS(routes.num_ases() == n);
+  const AsId dest = routes.dest();
+
+  PathCounts pc;
+  pc.tagged.assign(n, 0.0);
+  pc.untagged.assign(n, 0.0);
+  const auto chains = best_chains(g, routes);
+
+  // ---- g (tag = 0): only Down steps remain; customers precede providers
+  // in the evaluation, i.e. reverse topological order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const AsId v = *it;
+    if (v == dest) {
+      pc.untagged[v.value()] = 1.0;
+      continue;
+    }
+    double total = 0.0;
+    if (deployed[v.value()]) {
+      for (const auto& nb : g.neighbors(v)) {
+        if (nb.rel != topo::Rel::Customer) continue;
+        if (!exports_upward(routes, nb.as)) continue;
+        if (poisoned(chains[nb.as.value()], v)) continue;
+        total += pc.untagged[nb.as.value()];
+      }
+    } else {
+      const Route& r = routes.best(v);
+      if (r.cls == RouteClass::Customer) total = pc.untagged[r.next_hop.value()];
+    }
+    pc.untagged[v.value()] = total;
+  }
+
+  // ---- f (tag = 1): Up steps recurse into providers' f, so providers are
+  // evaluated first (forward topological order). Flat/Down steps drop to g.
+  for (const AsId v : order) {
+    if (v == dest) {
+      pc.tagged[v.value()] = 1.0;
+      continue;
+    }
+    double total = 0.0;
+    if (deployed[v.value()]) {
+      for (const auto& nb : g.neighbors(v)) {
+        if (poisoned(chains[nb.as.value()], v)) continue;  // loop detection
+        switch (nb.rel) {
+          case topo::Rel::Provider:
+            // The provider exports everything to us; f(p)=0 iff it has no
+            // realizable continuation, contributing nothing.
+            total += pc.tagged[nb.as.value()];
+            break;
+          case topo::Rel::Peer:
+          case topo::Rel::Customer:
+            if (exports_upward(routes, nb.as)) {
+              total += pc.untagged[nb.as.value()];
+            }
+            break;
+        }
+      }
+    } else {
+      const Route& r = routes.best(v);
+      switch (r.cls) {
+        case RouteClass::Customer:
+        case RouteClass::Peer:
+          total = pc.untagged[r.next_hop.value()];
+          break;
+        case RouteClass::Provider:
+          total = pc.tagged[r.next_hop.value()];
+          break;
+        case RouteClass::Self:
+        case RouteClass::None:
+          total = 0.0;
+          break;
+      }
+    }
+    pc.tagged[v.value()] = total;
+  }
+
+  return pc;
+}
+
+}  // namespace mifo::bgp

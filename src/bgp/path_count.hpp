@@ -1,0 +1,46 @@
+// Counting the forwarding paths MIFO can realize between AS pairs (Fig. 7).
+//
+// A MIFO path is any AS sequence admissible hop-by-hop under the data-plane
+// valley-free rule (Eq. 3) in which every hop uses a route actually present
+// in the forwarding AS's BGP RIB (i.e. the next hop exports a route for the
+// destination), and in which ASes without MIFO deployed forward only on
+// their BGP default next hop.
+//
+// The count is a dynamic program over states (AS, tag-bit) — exactly the one
+// bit the paper adds to packets:
+//   f(v): #continuations from v with tag=1 (upstream was a customer, or v is
+//         the traffic source);
+//   g(v): #continuations with tag=0 (upstream was a peer or provider; Eq. 3
+//         then admits only customer next hops).
+// Because the provider/customer hierarchy is acyclic, f is evaluated
+// providers-first and g customers-first; see DESIGN.md §5.2. Counts may
+// exceed 2^64 on dense topologies, hence double.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::bgp {
+
+struct PathCounts {
+  /// f — entry with tag=1; query point for a source AS.
+  std::vector<double> tagged;
+  /// g — entry with tag=0.
+  std::vector<double> untagged;
+
+  [[nodiscard]] double paths_from(AsId src) const {
+    return tagged[src.value()];
+  }
+};
+
+/// `deployed[i]` marks MIFO-capable ASes; pass all-true for 100% deployment.
+/// `order` must be a providers-first topological order of the P/C digraph
+/// (topo::pc_topological_order).
+[[nodiscard]] PathCounts count_mifo_paths(const topo::AsGraph& g,
+                                          const DestRoutes& routes,
+                                          const std::vector<AsId>& order,
+                                          const std::vector<bool>& deployed);
+
+}  // namespace mifo::bgp

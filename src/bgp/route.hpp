@@ -1,0 +1,87 @@
+// BGP route representation and the Gao–Rexford decision process.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "topo/relationship.hpp"
+
+namespace mifo::bgp {
+
+/// Route class by the relationship of the neighbor the route was learned
+/// from. Lower enum value = more preferred (the paper's standard selection:
+/// customer > peer > provider).
+enum class RouteClass : std::uint8_t {
+  Customer = 0,
+  Peer = 1,
+  Provider = 2,
+  Self = 3,  ///< the AS originates the destination prefix itself
+  None = 4,
+};
+
+[[nodiscard]] constexpr RouteClass classify(topo::Rel neighbor_rel) {
+  switch (neighbor_rel) {
+    case topo::Rel::Customer:
+      return RouteClass::Customer;
+    case topo::Rel::Peer:
+      return RouteClass::Peer;
+    case topo::Rel::Provider:
+      return RouteClass::Provider;
+  }
+  return RouteClass::None;  // unreachable
+}
+
+[[nodiscard]] constexpr const char* to_string(RouteClass c) {
+  switch (c) {
+    case RouteClass::Customer:
+      return "customer";
+    case RouteClass::Peer:
+      return "peer";
+    case RouteClass::Provider:
+      return "provider";
+    case RouteClass::Self:
+      return "self";
+    case RouteClass::None:
+      return "none";
+  }
+  return "?";
+}
+
+/// A single RIB entry: the route towards one destination learned from one
+/// neighbor. `path_len` counts AS hops (dest's own route has length 0).
+struct Route {
+  RouteClass cls = RouteClass::None;
+  std::uint16_t path_len = 0;
+  AsId next_hop = AsId::invalid();
+
+  [[nodiscard]] constexpr bool valid() const {
+    return cls != RouteClass::None;
+  }
+
+  /// Gao–Rexford decision process: class, then shortest AS path, then the
+  /// lowest next-hop AS id (the paper's two tie-breakers, Section IV-A).
+  [[nodiscard]] constexpr bool better_than(const Route& other) const {
+    if (!valid()) return false;
+    if (!other.valid()) return true;
+    if (cls != other.cls) return cls < other.cls;
+    if (path_len != other.path_len) return path_len < other.path_len;
+    return next_hop < other.next_hop;
+  }
+
+  friend constexpr bool operator==(const Route&, const Route&) = default;
+};
+
+/// Export rule (valley-free economics, Gao & Rexford): a route may be
+/// exported to a customer always; to a peer or provider only if it is a
+/// customer route or the exporter originates the prefix.
+[[nodiscard]] constexpr bool may_export(RouteClass route_cls,
+                                        topo::Rel importer_rel) {
+  if (!(route_cls == RouteClass::Customer || route_cls == RouteClass::Peer ||
+        route_cls == RouteClass::Provider || route_cls == RouteClass::Self)) {
+    return false;
+  }
+  if (importer_rel == topo::Rel::Customer) return true;  // export everything
+  return route_cls == RouteClass::Customer || route_cls == RouteClass::Self;
+}
+
+}  // namespace mifo::bgp

@@ -1,0 +1,61 @@
+// Gao–Rexford interdomain route computation.
+//
+// For one destination AS the converged BGP state over the whole topology is
+// computed in three linear phases (customer routes, peer routes, provider
+// routes); see DESIGN.md §5.1. From the converged best routes the per-
+// neighbor RIB view (what each neighbor exports to us — MIFO's source of
+// alternative paths) is derived with zero extra state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::bgp {
+
+/// Converged routing state towards a single destination AS.
+class DestRoutes {
+ public:
+  DestRoutes(AsId dest, std::vector<Route> best)
+      : dest_(dest), best_(std::move(best)) {}
+
+  [[nodiscard]] AsId dest() const { return dest_; }
+
+  /// The AS's best (default) route; `cls == Self` at the destination itself
+  /// and `None` where the destination is unreachable.
+  [[nodiscard]] const Route& best(AsId as) const;
+
+  [[nodiscard]] std::size_t num_ases() const { return best_.size(); }
+
+ private:
+  AsId dest_;
+  std::vector<Route> best_;
+};
+
+/// Computes converged Gao–Rexford routes towards `dest`. O(E).
+[[nodiscard]] DestRoutes compute_routes(const topo::AsGraph& g, AsId dest);
+
+/// The route `as` holds in its RIB from neighbor `neighbor` — i.e. what the
+/// neighbor exports to `as` (its best route, subject to the export rule),
+/// reclassified from `as`'s perspective. nullopt when the neighbor exports
+/// nothing for this destination.
+[[nodiscard]] std::optional<Route> rib_route_from(const topo::AsGraph& g,
+                                                  const DestRoutes& routes,
+                                                  AsId as, AsId neighbor);
+
+/// All RIB entries of `as` towards the destination, one per exporting
+/// neighbor, sorted best-first by the decision process.
+[[nodiscard]] std::vector<Route> rib_of(const topo::AsGraph& g,
+                                        const DestRoutes& routes, AsId as);
+
+/// The default forwarding path from `src` to the destination (sequence of
+/// ASes including both endpoints); empty when unreachable.
+[[nodiscard]] std::vector<AsId> as_path(const topo::AsGraph& g,
+                                        const DestRoutes& routes, AsId src);
+
+/// Convenience: number of ASes that can reach `dest` at all.
+[[nodiscard]] std::size_t reachable_count(const DestRoutes& routes);
+
+}  // namespace mifo::bgp

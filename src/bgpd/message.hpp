@@ -1,0 +1,27 @@
+// BGP UPDATE messages at AS-path-vector granularity.
+//
+// The analytic three-phase computation in src/bgp/ produces the *converged*
+// state directly; this module is the protocol that real routers (the
+// paper's XORP daemon) run to get there: announcements and withdrawals
+// propagating over sessions, with loop detection on the full AS path. The
+// two are cross-validated in tests — the protocol must converge to exactly
+// the analytic fixpoint.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mifo::bgpd {
+
+struct UpdateMsg {
+  /// Destination prefix, identified by its origin AS.
+  AsId dest = AsId::invalid();
+  /// True for a withdrawal (as_path ignored).
+  bool withdraw = false;
+  /// Path vector, sender first, origin last. Receivers prepend nothing —
+  /// the sender already placed itself at the front.
+  std::vector<AsId> as_path;
+};
+
+}  // namespace mifo::bgpd

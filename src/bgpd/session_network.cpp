@@ -1,0 +1,60 @@
+#include "bgpd/session_network.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mifo::bgpd {
+
+SessionNetwork::SessionNetwork(const topo::AsGraph& g) : graph_(&g) {
+  speakers_.reserve(g.num_ases());
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    speakers_.emplace_back(AsId(i), g);
+  }
+}
+
+Speaker& SessionNetwork::speaker(AsId as) {
+  MIFO_EXPECTS(as.value() < speakers_.size());
+  return speakers_[as.value()];
+}
+
+const Speaker& SessionNetwork::speaker(AsId as) const {
+  MIFO_EXPECTS(as.value() < speakers_.size());
+  return speakers_[as.value()];
+}
+
+void SessionNetwork::originate(AsId as) {
+  enqueue(as, speaker(as).originate());
+}
+
+void SessionNetwork::originate_all() {
+  for (std::uint32_t i = 0; i < speakers_.size(); ++i) {
+    originate(AsId(i));
+  }
+}
+
+void SessionNetwork::withdraw(AsId as) {
+  enqueue(as, speaker(as).withdraw_origin());
+}
+
+void SessionNetwork::enqueue(AsId from, std::vector<OutboundUpdate> out) {
+  for (auto& o : out) {
+    queue_.push_back(InFlight{from, o.to, std::move(o.msg)});
+  }
+}
+
+std::size_t SessionNetwork::run_to_convergence(std::size_t max_messages) {
+  if (max_messages == 0) {
+    // Generous default: Gao–Rexford convergence is far below this.
+    max_messages = 200 * graph_->num_ases() * graph_->num_ases() + 10000;
+  }
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    InFlight m = std::move(queue_.front());
+    queue_.pop_front();
+    ++processed;
+    MIFO_ASSERT(processed <= max_messages);  // non-convergence = bug
+    enqueue(m.to, speaker(m.to).receive(m.msg, m.from));
+  }
+  return processed;
+}
+
+}  // namespace mifo::bgpd

@@ -1,0 +1,139 @@
+#include "bgpd/speaker.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::bgpd {
+
+namespace {
+
+bool contains(const std::vector<AsId>& path, AsId as) {
+  return std::find(path.begin(), path.end(), as) != path.end();
+}
+
+}  // namespace
+
+std::vector<OutboundUpdate> Speaker::originate() {
+  PrefixState& st = table_[self_.value()];
+  st.originated = true;
+  return decide(self_, st);
+}
+
+std::vector<OutboundUpdate> Speaker::withdraw_origin() {
+  PrefixState& st = table_[self_.value()];
+  st.originated = false;
+  return decide(self_, st);
+}
+
+std::vector<OutboundUpdate> Speaker::receive(const UpdateMsg& msg,
+                                             AsId from) {
+  MIFO_EXPECTS(graph_->adjacent(self_, from));
+  ++updates_received;
+  PrefixState& st = table_[msg.dest.value()];
+
+  if (msg.withdraw) {
+    st.in.erase(from.value());
+    return decide(msg.dest, st);
+  }
+  // Loop detection on the full path vector: a path through ourselves is an
+  // implicit withdrawal of whatever the neighbor previously offered.
+  MIFO_EXPECTS(!msg.as_path.empty());
+  MIFO_EXPECTS(msg.as_path.front() == from);
+  if (contains(msg.as_path, self_)) {
+    ++loops_rejected;
+    st.in.erase(from.value());
+    return decide(msg.dest, st);
+  }
+  RibIn entry;
+  entry.neighbor = from;
+  entry.as_path = msg.as_path;
+  entry.cls = bgp::classify(*graph_->rel(self_, from));
+  st.in[from.value()] = std::move(entry);
+  return decide(msg.dest, st);
+}
+
+std::vector<OutboundUpdate> Speaker::decide(AsId dest, PrefixState& st) {
+  // Decision process over the Adj-RIB-In (plus our own origination).
+  bgp::Route best;
+  AsId best_neighbor = AsId::invalid();
+  if (st.originated) best = bgp::Route{bgp::RouteClass::Self, 0, self_};
+  for (const auto& [nid, rib] : st.in) {
+    const bgp::Route r = rib.as_route();
+    if (r.better_than(best)) {
+      best = r;
+      best_neighbor = rib.neighbor;
+    }
+  }
+  st.best_neighbor = best_neighbor;
+
+  // The announcement we would now send (empty = withdrawn).
+  std::vector<AsId> new_path;
+  if (st.originated && best.cls == bgp::RouteClass::Self) {
+    new_path = {self_};
+  } else if (best_neighbor.valid()) {
+    new_path.reserve(st.in.at(best_neighbor.value()).as_path.size() + 1);
+    new_path.push_back(self_);
+    const auto& tail = st.in.at(best_neighbor.value()).as_path;
+    new_path.insert(new_path.end(), tail.begin(), tail.end());
+  }
+  if (new_path == st.adv_path) return {};
+
+  std::vector<OutboundUpdate> out;
+  for (const auto& nb : graph_->neighbors(self_)) {
+    // `nb.rel` is what the neighbor is to us — exactly the importer role
+    // the export policy keys on.
+    const bool was = !st.adv_path.empty() && may_export(st.adv_cls, nb.rel);
+    const bool now = !new_path.empty() && may_export(best.cls, nb.rel);
+    if (now) {
+      UpdateMsg m;
+      m.dest = dest;
+      m.as_path = new_path;
+      out.push_back(OutboundUpdate{nb.as, std::move(m)});
+      ++updates_sent;
+    } else if (was) {
+      UpdateMsg m;
+      m.dest = dest;
+      m.withdraw = true;
+      out.push_back(OutboundUpdate{nb.as, std::move(m)});
+      ++updates_sent;
+    }
+  }
+  st.adv_path = std::move(new_path);
+  st.adv_cls = best.cls;
+  return out;
+}
+
+bgp::Route Speaker::best(AsId dest) const {
+  const auto it = table_.find(dest.value());
+  if (it == table_.end()) return bgp::Route{};
+  const PrefixState& st = it->second;
+  if (st.originated) return bgp::Route{bgp::RouteClass::Self, 0, self_};
+  if (!st.best_neighbor.valid()) return bgp::Route{};
+  return st.in.at(st.best_neighbor.value()).as_route();
+}
+
+std::vector<AsId> Speaker::best_path(AsId dest) const {
+  const auto it = table_.find(dest.value());
+  if (it == table_.end()) return {};
+  const PrefixState& st = it->second;
+  if (st.originated) return {self_};
+  if (!st.best_neighbor.valid()) return {};
+  std::vector<AsId> path{self_};
+  const auto& tail = st.in.at(st.best_neighbor.value()).as_path;
+  path.insert(path.end(), tail.begin(), tail.end());
+  return path;
+}
+
+std::vector<RibIn> Speaker::rib_in(AsId dest) const {
+  std::vector<RibIn> out;
+  const auto it = table_.find(dest.value());
+  if (it == table_.end()) return out;
+  for (const auto& [nid, rib] : it->second.in) out.push_back(rib);
+  std::sort(out.begin(), out.end(), [](const RibIn& a, const RibIn& b) {
+    return a.as_route().better_than(b.as_route());
+  });
+  return out;
+}
+
+}  // namespace mifo::bgpd

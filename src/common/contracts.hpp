@@ -1,0 +1,40 @@
+// Lightweight design-by-contract macros in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures() (I.6, I.8). Violations abort with a
+// diagnostic; they are kept on in all build types because every simulation
+// result in this repo depends on these invariants holding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mifo::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mifo::detail
+
+#define MIFO_EXPECTS(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::mifo::detail::contract_failure("Precondition", #cond, __FILE__, \
+                                       __LINE__);                       \
+  } while (false)
+
+#define MIFO_ENSURES(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mifo::detail::contract_failure("Postcondition", #cond, __FILE__, \
+                                       __LINE__);                        \
+  } while (false)
+
+#define MIFO_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::mifo::detail::contract_failure("Invariant", #cond, __FILE__,   \
+                                       __LINE__);                      \
+  } while (false)

@@ -1,0 +1,19 @@
+// Environment-variable overrides for the bench harnesses.
+//
+// Every bench ships laptop-scale defaults but honours MIFO_* env vars so the
+// experiments can be rerun at paper scale (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mifo {
+
+/// Returns the env var parsed as the requested type, or `fallback` when the
+/// variable is unset or unparsable.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+}  // namespace mifo

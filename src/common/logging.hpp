@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr. Off by default above Warn so simulation
+// inner loops stay quiet; benches raise the level for progress reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mifo {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, fmt);
+  } else {
+    char buffer[1024];
+    std::snprintf(buffer, sizeof(buffer), fmt, args...);
+    detail::log_line(level, buffer);
+  }
+}
+
+#define MIFO_LOG_DEBUG(...) ::mifo::log(::mifo::LogLevel::Debug, __VA_ARGS__)
+#define MIFO_LOG_INFO(...) ::mifo::log(::mifo::LogLevel::Info, __VA_ARGS__)
+#define MIFO_LOG_WARN(...) ::mifo::log(::mifo::LogLevel::Warn, __VA_ARGS__)
+#define MIFO_LOG_ERROR(...) ::mifo::log(::mifo::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace mifo

@@ -1,0 +1,88 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the repo (topology generation, traffic
+// matrices, deployment sampling, flow hashing) draws from these generators so
+// that a (seed, parameters) pair fully reproduces an experiment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mifo {
+
+/// SplitMix64 — used to expand one user seed into generator state and for
+/// stateless hashing (flow five-tuple -> path choice).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless avalanche hash of a single 64-bit value (SplitMix64 finalizer).
+[[nodiscard]] std::uint64_t hash64(std::uint64_t x);
+
+/// Combine two hashes (order-dependent).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate);
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Uniformly chosen index into a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    return items[bounded(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[bounded(i)]);
+    }
+  }
+
+  /// Split off an independently seeded child generator (for parallel use).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples an integer rank in [1, n] from a Zipf distribution with exponent
+/// `alpha` using an inverted-CDF table. Matches the paper's power-law
+/// consumer model F(i) = a * i^-alpha (Section IV-B).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank i (1-based).
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mifo

@@ -1,0 +1,57 @@
+// A small work-stealing-free thread pool with a parallel_for helper.
+//
+// The heavy loops in this repo (per-destination route computation, per-pair
+// path counting, independent simulation runs) are embarrassingly parallel;
+// parallel_for chunks them across hardware threads. On a single-core host it
+// degrades gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mifo {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) across `pool`, in contiguous chunks.
+/// Blocks until all iterations complete. `fn` must be safe to call
+/// concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Shared process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace mifo

@@ -1,0 +1,87 @@
+// Strong identifier and unit types shared by every MIFO library.
+//
+// Raw integers invite mixing AS numbers with router indices or link indices;
+// per C++ Core Guidelines I.4 ("make interfaces precisely and strongly
+// typed") every identity in the system gets its own vocabulary type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mifo {
+
+/// CRTP-free strong integer id. `Tag` distinguishes unrelated id spaces.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  static constexpr StrongId invalid() { return StrongId(invalid_rep); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  static constexpr Rep invalid_rep = std::numeric_limits<Rep>::max();
+  Rep value_ = invalid_rep;
+};
+
+struct AsTag {};
+struct RouterTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct HostTag {};
+struct PortTag {};
+
+/// Autonomous-system number.
+using AsId = StrongId<AsTag>;
+/// A border (or host-facing) router inside the packet-level data plane.
+using RouterId = StrongId<RouterTag>;
+/// A directed inter-AS link in the flow-level simulator.
+using LinkId = StrongId<LinkTag>;
+/// A transport flow (either fluid or AIMD).
+using FlowId = StrongId<FlowTag, std::uint64_t>;
+/// An end host attached to the testbed.
+using HostId = StrongId<HostTag>;
+/// An output port index local to one router.
+using PortId = StrongId<PortTag>;
+
+/// Simulation time in seconds. Double precision gives ~microsecond
+/// resolution over hour-long runs, which is ample for both planes.
+using SimTime = double;
+
+/// Bandwidth in megabits per second. The paper's links are 1 Gbps.
+using Mbps = double;
+
+/// Data sizes are carried in bytes.
+using Bytes = std::uint64_t;
+
+inline constexpr Mbps kGigabit = 1000.0;
+inline constexpr Bytes kMegaByte = 1000ull * 1000ull;
+
+/// Bytes -> megabits.
+[[nodiscard]] constexpr double to_megabits(Bytes bytes) {
+  return static_cast<double>(bytes) * 8.0 / 1e6;
+}
+
+/// Transfer time of `bytes` at `rate` (saturating at +inf for rate<=0).
+[[nodiscard]] constexpr SimTime transfer_seconds(Bytes bytes, Mbps rate) {
+  if (rate <= 0.0) return std::numeric_limits<SimTime>::infinity();
+  return to_megabits(bytes) / rate;
+}
+
+}  // namespace mifo
+
+template <typename Tag, typename Rep>
+struct std::hash<mifo::StrongId<Tag, Rep>> {
+  std::size_t operator()(mifo::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,98 @@
+#include "core/daemon.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::core {
+
+const AsWiring::Egress* AsWiring::egress_to(AsId neighbor) const {
+  for (const auto& e : egresses) {
+    if (e.neighbor == neighbor) return &e;
+  }
+  return nullptr;
+}
+
+PortId AsWiring::intra_port(RouterId from, RouterId to) const {
+  for (const auto& ip : intra) {
+    if (ip.from == from && ip.to == to) return ip.port;
+  }
+  return PortId::invalid();
+}
+
+void MifoDaemon::tick(dp::Network& net, SimTime now) {
+  // (1) Sample every inter-AS link once; border routers "communicate the
+  // measurement results with each other" over iBGP — modeled as the shared
+  // spare[] table.
+  std::vector<Mbps> spare(wiring_.egresses.size(), 0.0);
+  for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
+    const auto& e = wiring_.egresses[i];
+    spare[i] = monitor_.sample(net, e.router, e.port, now).spare;
+  }
+
+  // (2)+(3) Elect and program the best alternative per prefix.
+  elected_.clear();
+  for (const auto& pr : prefixes_) {
+    if (!pr.default_neighbor.valid() || pr.alternatives.empty()) continue;
+    AsId choice = AsId::invalid();
+    Mbps best_spare = -1.0;
+    for (const AsId alt : pr.alternatives) {
+      for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
+        if (wiring_.egresses[i].neighbor != alt) continue;
+        if (spare[i] > best_spare ||
+            (spare[i] == best_spare && choice.valid() && alt < choice)) {
+          best_spare = spare[i];
+          choice = alt;
+        }
+      }
+    }
+    if (choice.valid()) {
+      program_alt(net, pr, choice);
+      elected_.emplace_back(pr.prefix, choice);
+    }
+  }
+
+  // (4) Flow re-evaluation with hysteresis on every router of the AS, fed
+  // with the monitor's rate-based utilization of that router's egresses.
+  for (const RouterId r : wiring_.routers) {
+    auto util = [this, &net, r, &spare](PortId p) {
+      for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
+        const auto& e = wiring_.egresses[i];
+        if (e.router == r && e.port == p) {
+          const Mbps cap = net.router(r).port(p).rate;
+          return cap > 0.0 ? 1.0 - spare[i] / cap : 1.0;
+        }
+      }
+      return 0.0;
+    };
+    net.router(r).reevaluate_flows(net, util);
+  }
+}
+
+void MifoDaemon::program_alt(dp::Network& net, const PrefixRoutes& pr,
+                             AsId choice) {
+  const auto* egress = wiring_.egress_to(choice);
+  MIFO_EXPECTS(egress != nullptr);
+  for (const RouterId r : wiring_.routers) {
+    dp::Router& router = net.router(r);
+    if (!router.fib().lookup(pr.prefix)) continue;
+    if (r == egress->router) {
+      router.fib().set_alt(pr.prefix, egress->port);
+    } else {
+      const PortId via = wiring_.intra_port(r, egress->router);
+      // Full-mesh iBGP guarantees a direct intra link; a missing one means
+      // the wiring the builder handed us is inconsistent.
+      MIFO_EXPECTS(via.valid());
+      router.fib().set_alt(pr.prefix, via);
+    }
+  }
+}
+
+AsId MifoDaemon::elected_alt(dp::Addr prefix) const {
+  for (const auto& [p, as] : elected_) {
+    if (p == prefix) return as;
+  }
+  return AsId::invalid();
+}
+
+}  // namespace mifo::core

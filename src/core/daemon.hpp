@@ -1,0 +1,78 @@
+// The MIFO daemon (paper Section V, Fig. 10).
+//
+// One daemon instance runs per AS. On every tick it
+//   1. samples the spare capacity of the AS's inter-AS links (LinkMonitor —
+//    the XORP module's "constantly collects available link capacity"),
+//   2. elects, per destination prefix, the alternative next-hop AS with the
+//      most spare capacity (the greedy selection of Section III-C),
+//   3. programs the `alt_port` of every router FIB in the AS so the
+//      forwarding engine can deflect at line speed, and
+//   4. runs the routers' flow re-evaluation (hysteresis back to defaults).
+#pragma once
+
+#include <vector>
+
+#include "core/link_monitor.hpp"
+#include "dataplane/network.hpp"
+#include "topo/relationship.hpp"
+
+namespace mifo::core {
+
+/// Static wiring of one AS in the packet plane, produced by the network
+/// builder: its routers, its external attachments, and the intra-AS mesh.
+struct AsWiring {
+  AsId as;
+  std::vector<RouterId> routers;
+
+  struct Egress {
+    AsId neighbor;       ///< external AS
+    RouterId router;     ///< our border router facing it
+    PortId port;         ///< the eBGP port on that router
+    topo::Rel rel;       ///< what the neighbor is to this AS
+  };
+  std::vector<Egress> egresses;
+
+  struct IntraPort {
+    RouterId from;
+    RouterId to;
+    PortId port;  ///< port on `from` towards `to`
+  };
+  std::vector<IntraPort> intra;
+
+  [[nodiscard]] const Egress* egress_to(AsId neighbor) const;
+  [[nodiscard]] PortId intra_port(RouterId from, RouterId to) const;
+};
+
+/// One prefix's AS-level routing knowledge inside this AS (from the BGP
+/// RIB): the default next-hop AS plus the alternative neighbors that export
+/// a route for it.
+struct PrefixRoutes {
+  dp::Addr prefix = dp::kInvalidAddr;
+  AsId default_neighbor = AsId::invalid();  ///< invalid => local delivery
+  std::vector<AsId> alternatives;           ///< RIB neighbors != default
+};
+
+class MifoDaemon {
+ public:
+  MifoDaemon(AsWiring wiring, std::vector<PrefixRoutes> prefixes)
+      : wiring_(std::move(wiring)), prefixes_(std::move(prefixes)) {}
+
+  /// Periodic daemon work; wire into Network::add_periodic.
+  void tick(dp::Network& net, SimTime now);
+
+  /// The alternative neighbor currently elected for a prefix (invalid when
+  /// none programmed). Exposed for tests and examples.
+  [[nodiscard]] AsId elected_alt(dp::Addr prefix) const;
+
+  [[nodiscard]] const AsWiring& wiring() const { return wiring_; }
+
+ private:
+  void program_alt(dp::Network& net, const PrefixRoutes& pr, AsId choice);
+
+  AsWiring wiring_;
+  std::vector<PrefixRoutes> prefixes_;
+  LinkMonitor monitor_;
+  std::vector<std::pair<dp::Addr, AsId>> elected_;
+};
+
+}  // namespace mifo::core

@@ -1,0 +1,37 @@
+#include "core/link_monitor.hpp"
+
+#include <algorithm>
+
+namespace mifo::core {
+
+LinkMonitor::Measurement LinkMonitor::sample(dp::Network& net,
+                                             RouterId router, PortId port,
+                                             SimTime now) {
+  const dp::Port& p = net.router(router).port(port);
+  State& s = state_[key(router, port)];
+  if (!s.primed) {
+    s.primed = true;
+    s.last_bytes = p.bytes_sent_total;
+    s.last_time = now;
+    s.meas = Measurement{0.0, p.rate};
+    return s.meas;
+  }
+  const SimTime dt = now - s.last_time;
+  if (dt <= 0.0) return s.meas;
+  const std::uint64_t delta = p.bytes_sent_total - s.last_bytes;
+  s.last_bytes = p.bytes_sent_total;
+  s.last_time = now;
+  s.meas.rate = to_megabits(delta) / dt;
+  s.meas.spare = std::max(0.0, p.rate - s.meas.rate);
+  return s.meas;
+}
+
+LinkMonitor::Measurement LinkMonitor::last(const dp::Network& net,
+                                           RouterId router,
+                                           PortId port) const {
+  const auto it = state_.find(key(router, port));
+  if (it != state_.end() && it->second.primed) return it->second.meas;
+  return Measurement{0.0, net.router(router).port(port).rate};
+}
+
+}  // namespace mifo::core

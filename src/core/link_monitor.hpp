@@ -1,0 +1,46 @@
+// Link-capacity monitoring (Section III-C): MIFO turns "path" measurement
+// into "link" monitoring — each border router tracks the spare capacity of
+// its directly connected inter-AS links over a sliding window, and iBGP
+// peers exchange the results over their existing sessions (here: shared
+// daemon state within the AS).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "dataplane/network.hpp"
+
+namespace mifo::core {
+
+class LinkMonitor {
+ public:
+  /// Measurement for one (router, port).
+  struct Measurement {
+    Mbps rate = 0.0;   ///< sending rate over the last window
+    Mbps spare = 0.0;  ///< capacity - rate, floored at 0
+  };
+
+  /// Samples the byte counters of `port` on `router` and updates the rate
+  /// estimate for the elapsed window. Call once per daemon tick per link.
+  Measurement sample(dp::Network& net, RouterId router, PortId port,
+                     SimTime now);
+
+  /// Last measurement without resampling (0/full-capacity before first
+  /// sample).
+  [[nodiscard]] Measurement last(const dp::Network& net, RouterId router,
+                                 PortId port) const;
+
+ private:
+  struct State {
+    std::uint64_t last_bytes = 0;
+    SimTime last_time = 0.0;
+    Measurement meas;
+    bool primed = false;
+  };
+  static std::uint64_t key(RouterId r, PortId p) {
+    return (static_cast<std::uint64_t>(r.value()) << 32) | p.value();
+  }
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+}  // namespace mifo::core

@@ -1,0 +1,135 @@
+#include "core/walk.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::core {
+
+namespace {
+
+/// Spare fraction of a link (1 - utilization), clamped.
+double spare_of(const UtilizationFn& utilization, LinkId l) {
+  const double u = utilization(l);
+  return u >= 1.0 ? 0.0 : 1.0 - u;
+}
+
+/// End-to-end bottleneck spare along `via`'s default path towards the
+/// destination, prefixed by the local link into `via` (the probing-based
+/// scheme the paper rejects as too slow/expensive; see AltSelection).
+double probe_spare(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+                   AsId cur, AsId via, const UtilizationFn& utilization) {
+  double spare = spare_of(utilization, g.link(cur, via));
+  AsId hop = via;
+  std::size_t guard = 0;
+  while (hop != routes.dest()) {
+    const bgp::Route& r = routes.best(hop);
+    if (!r.valid()) return 0.0;
+    spare = std::min(spare,
+                     spare_of(utilization, g.link(hop, r.next_hop)));
+    hop = r.next_hop;
+    if (++guard > routes.num_ases()) return 0.0;
+  }
+  return spare;
+}
+
+}  // namespace
+
+WalkResult mifo_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+                     const std::vector<bool>& deployed, AsId src,
+                     const UtilizationFn& utilization,
+                     const WalkConfig& cfg) {
+  MIFO_EXPECTS(deployed.size() == g.num_ases());
+  WalkResult res;
+  if (!routes.best(src).valid()) return res;
+
+  const AsId dst = routes.dest();
+  AsId cur = src;
+  // Tag semantics of Section III-A4: sources behave like customer ingress.
+  bool tag = true;
+  res.path.push_back(cur);
+
+  while (cur != dst) {
+    const bgp::Route& def = routes.best(cur);
+    MIFO_ASSERT(def.valid());
+    AsId next = def.next_hop;
+    const LinkId def_link = g.link(cur, next);
+    MIFO_ASSERT(def_link.valid());
+
+    if (deployed[cur.value()] &&
+        utilization(def_link) >= cfg.congest_threshold) {
+      // Greedy alternative selection: among RIB neighbors admissible under
+      // the Tag-Check rule (and not materially longer than the default),
+      // pick the one whose local inter-AS link has the most spare capacity —
+      // and only deflect when it beats the default by the margin.
+      const bool probe = cfg.selection == AltSelection::EndToEndProbe;
+      AsId best = AsId::invalid();
+      double best_spare =
+          (probe ? probe_spare(g, routes, cur, next, utilization)
+                 : spare_of(utilization, def_link)) +
+          cfg.min_spare_margin;
+      for (const auto& nb : g.neighbors(cur)) {
+        if (nb.as == next) continue;
+        if (!topo::check_bit(tag, nb.rel)) continue;  // valley-free gate
+        const auto offer = bgp::rib_route_from(g, routes, cur, nb.as);
+        if (!offer) continue;
+        if (offer->path_len > def.path_len + cfg.max_extra_hops) continue;
+        const double spare =
+            probe ? probe_spare(g, routes, cur, nb.as, utilization)
+                  : spare_of(utilization, nb.link);
+        if (spare > best_spare ||
+            (best.valid() && spare == best_spare && nb.as < best)) {
+          best = nb.as;
+          best_spare = spare;
+        }
+      }
+      if (best.valid()) {
+        next = best;
+        ++res.deflections;
+      }
+    }
+
+    const LinkId hop_link = g.link(cur, next);
+    MIFO_ASSERT(hop_link.valid());
+    res.links.push_back(hop_link);
+    // Update the tag for the next AS: 1 iff we (cur) are its customer,
+    // i.e. the step went up to a provider of cur.
+    tag = (*g.rel(cur, next) == topo::Rel::Provider);
+    cur = next;
+    res.path.push_back(cur);
+    // Theorem III-A3: admissible walks have the shape Up* [Flat] Down*, and
+    // both the up and the down phase are simple (the P/C hierarchy is
+    // acyclic) — so the walk length is bounded by one up plus one down
+    // traversal. Exceeding the bound means the loop-freedom theorem broke.
+    MIFO_ASSERT(res.path.size() <= 2 * g.num_ases() + 2);
+  }
+
+  res.reachable = true;
+  return res;
+}
+
+WalkResult bgp_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+                    AsId src) {
+  WalkResult res;
+  const auto path = bgp::as_path(g, routes, src);
+  if (path.empty()) return res;
+  res.reachable = true;
+  res.path = path;
+  res.links = links_of_path(g, path);
+  return res;
+}
+
+std::vector<LinkId> links_of_path(const topo::AsGraph& g,
+                                  const std::vector<AsId>& path) {
+  std::vector<LinkId> links;
+  if (path.size() < 2) return links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LinkId l = g.link(path[i], path[i + 1]);
+    MIFO_EXPECTS(l.valid());
+    links.push_back(l);
+  }
+  return links;
+}
+
+}  // namespace mifo::core

@@ -1,0 +1,77 @@
+// AS-level MIFO forwarding: the hop-by-hop walk a packet's flow takes under
+// MIFO, used by the flow-level simulator.
+//
+// At every deployed AS whose default egress link is congested, the walk
+// deflects to the RIB alternative admissible under the Tag-Check rule with
+// the most spare capacity on the local inter-AS link (the paper's greedy
+// selection, Section III-C). Non-deployed ASes forward on their BGP default.
+// By the paper's theorem (Section III-A3) the walk cannot loop; the
+// implementation still carries a hop guard that aborts on violation, which
+// doubles as a running check of the theorem.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bgp/routing.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::core {
+
+/// How a border router scores alternative next hops (Section III-C).
+enum class AltSelection : std::uint8_t {
+  /// The paper's greedy: spare capacity of the *directly connected*
+  /// inter-AS link ("turning path measurement into link monitoring").
+  LocalGreedy,
+  /// The rejected design the paper argues against for cost reasons —
+  /// end-to-end bottleneck probing along the candidate's default path.
+  /// Implemented as an oracle for the A3 ablation: it quantifies how much
+  /// accuracy the cheap local signal gives up.
+  EndToEndProbe,
+};
+
+struct WalkConfig {
+  /// Utilization at which the default egress counts as congested.
+  double congest_threshold = 0.7;
+  AltSelection selection = AltSelection::LocalGreedy;
+  /// Deflect only when the alternative's local spare fraction beats the
+  /// default's by at least this margin. A zero margin deflects onto
+  /// marginally-better links, churning flows for no throughput gain.
+  double min_spare_margin = 0.2;
+  /// Only RIB alternatives whose AS-path is at most this much longer than
+  /// the default are eligible. Longer detours consume capacity on more
+  /// links; unbounded detours reduce network-wide goodput under load.
+  std::uint16_t max_extra_hops = 1;
+};
+
+/// Link utilization in [0, 1] for a directed inter-AS link.
+using UtilizationFn = std::function<double(LinkId)>;
+
+struct WalkResult {
+  bool reachable = false;
+  /// The AS-level path actually taken (src .. dst inclusive).
+  std::vector<AsId> path;
+  /// Directed links along the path.
+  std::vector<LinkId> links;
+  /// Number of hops where the walk left the default next hop.
+  std::uint32_t deflections = 0;
+};
+
+/// Forward from `src` towards routes.dest() under MIFO with the given
+/// deployment and congestion state.
+[[nodiscard]] WalkResult mifo_walk(const topo::AsGraph& g,
+                                   const bgp::DestRoutes& routes,
+                                   const std::vector<bool>& deployed,
+                                   AsId src, const UtilizationFn& utilization,
+                                   const WalkConfig& cfg = {});
+
+/// Plain BGP forwarding (the default path) expressed as a WalkResult, for
+/// uniform handling in the simulator.
+[[nodiscard]] WalkResult bgp_walk(const topo::AsGraph& g,
+                                  const bgp::DestRoutes& routes, AsId src);
+
+/// The links of an explicit AS path.
+[[nodiscard]] std::vector<LinkId> links_of_path(const topo::AsGraph& g,
+                                                const std::vector<AsId>& path);
+
+}  // namespace mifo::core

@@ -1,0 +1,31 @@
+#include "dataplane/fib.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mifo::dp {
+
+void Fib::set_route(Addr dst, PortId out_port) {
+  MIFO_EXPECTS(dst != kInvalidAddr);
+  MIFO_EXPECTS(out_port.valid());
+  auto [it, inserted] = table_.try_emplace(dst, FibEntry{out_port});
+  if (!inserted) it->second.out_port = out_port;
+}
+
+void Fib::set_alt(Addr dst, PortId alt_port) {
+  const auto it = table_.find(dst);
+  MIFO_EXPECTS(it != table_.end());
+  it->second.alt_port = alt_port;
+}
+
+void Fib::clear_alt(Addr dst) {
+  const auto it = table_.find(dst);
+  if (it != table_.end()) it->second.alt_port = PortId::invalid();
+}
+
+std::optional<FibEntry> Fib::lookup(Addr dst) const {
+  const auto it = table_.find(dst);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mifo::dp

@@ -1,0 +1,45 @@
+// The forwarding information base with MIFO's `alt_port` extension (Fig. 1).
+//
+// The paper's prototype adds an `alt_port` attribute to the kernel's
+// `struct fib_table`; here a FIB entry maps a destination address to the
+// default output port plus the (daemon-maintained) alternative port.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "dataplane/packet.hpp"
+
+namespace mifo::dp {
+
+struct FibEntry {
+  PortId out_port;                      ///< default path
+  PortId alt_port = PortId::invalid();  ///< alternative path (may be unset)
+};
+
+class Fib {
+ public:
+  /// Insert or replace the default route for `dst`.
+  void set_route(Addr dst, PortId out_port);
+
+  /// Update only the alternative port (what the MIFO daemon does). The
+  /// destination must already have a default route.
+  void set_alt(Addr dst, PortId alt_port);
+
+  /// Clear the alternative port.
+  void clear_alt(Addr dst);
+
+  [[nodiscard]] std::optional<FibEntry> lookup(Addr dst) const;
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// Iteration support for the daemon's refresh pass.
+  [[nodiscard]] auto begin() const { return table_.begin(); }
+  [[nodiscard]] auto end() const { return table_.end(); }
+
+ private:
+  std::unordered_map<Addr, FibEntry> table_;
+};
+
+}  // namespace mifo::dp

@@ -1,0 +1,367 @@
+#include "dataplane/network.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::dp {
+
+namespace {
+constexpr Addr kHostAddrBit = 0x80000000u;
+
+Addr make_router_addr(RouterId r) { return r.value() + 1; }
+Addr make_host_addr(HostId h) { return kHostAddrBit | (h.value() + 1); }
+}  // namespace
+
+RouterId Network::add_router(AsId as) {
+  const RouterId id(static_cast<std::uint32_t>(routers_.size()));
+  routers_.emplace_back(id, as, make_router_addr(id));
+  return id;
+}
+
+HostId Network::add_host() {
+  const HostId id(static_cast<std::uint32_t>(hosts_.size()));
+  hosts_.push_back(Host{id, make_host_addr(id), Port{}, false});
+  return id;
+}
+
+std::pair<PortId, PortId> Network::connect_ebgp(RouterId a, RouterId b,
+                                                topo::Rel b_as_is_to_a_as,
+                                                Mbps rate, SimTime delay) {
+  Router& ra = router(a);
+  Router& rb = router(b);
+  MIFO_EXPECTS(ra.as() != rb.as());
+
+  Port pa;
+  pa.kind = PortKind::Ebgp;
+  pa.peer = NodeRef::router(b);
+  pa.peer_addr = rb.addr();
+  pa.rate = rate;
+  pa.delay = delay;
+  pa.neighbor_as = rb.as();
+  pa.neighbor_rel = b_as_is_to_a_as;
+
+  Port pb = pa;
+  pb.peer = NodeRef::router(a);
+  pb.peer_addr = ra.addr();
+  pb.neighbor_as = ra.as();
+  pb.neighbor_rel = topo::reverse(b_as_is_to_a_as);
+
+  const PortId ia = ra.add_port(std::move(pa));
+  const PortId ib = rb.add_port(std::move(pb));
+  ra.port(ia).peer_port = ib;
+  rb.port(ib).peer_port = ia;
+  return {ia, ib};
+}
+
+std::pair<PortId, PortId> Network::connect_ibgp(RouterId a, RouterId b,
+                                                Mbps rate, SimTime delay) {
+  Router& ra = router(a);
+  Router& rb = router(b);
+  MIFO_EXPECTS(ra.as() == rb.as());
+
+  Port pa;
+  pa.kind = PortKind::Ibgp;
+  pa.peer = NodeRef::router(b);
+  pa.peer_addr = rb.addr();
+  pa.rate = rate;
+  pa.delay = delay;
+
+  Port pb = pa;
+  pb.peer = NodeRef::router(a);
+  pb.peer_addr = ra.addr();
+
+  const PortId ia = ra.add_port(std::move(pa));
+  const PortId ib = rb.add_port(std::move(pb));
+  ra.port(ia).peer_port = ib;
+  rb.port(ib).peer_port = ia;
+  return {ia, ib};
+}
+
+PortId Network::connect_host(RouterId r, HostId h, Mbps rate, SimTime delay) {
+  Router& rr = router(r);
+  Host& hh = host(h);
+  MIFO_EXPECTS(!hh.connected);
+
+  Port pr;
+  pr.kind = PortKind::Host;
+  pr.peer = NodeRef::host(h);
+  pr.peer_addr = hh.addr;
+  pr.rate = rate;
+  pr.delay = delay;
+  const PortId ir = rr.add_port(std::move(pr));
+
+  hh.uplink.kind = PortKind::Host;  // host side: single uplink to router
+  hh.uplink.peer = NodeRef::router(r);
+  hh.uplink.peer_addr = rr.addr();
+  hh.uplink.peer_port = ir;
+  hh.uplink.rate = rate;
+  hh.uplink.delay = delay;
+  // Host NIC queue matches the routers': with equal-speed links the sending
+  // NIC is often the first bottleneck, and an oversized buffer here would
+  // inflate the RTT by orders of magnitude (bufferbloat) and cripple loss
+  // recovery.
+  hh.uplink.queue_capacity_bytes = 100 * 1000;
+  hh.connected = true;
+
+  rr.port(ir).peer_port = PortId(0);
+  return ir;
+}
+
+Router& Network::router(RouterId r) {
+  MIFO_EXPECTS(r.value() < routers_.size());
+  return routers_[r.value()];
+}
+
+const Router& Network::router(RouterId r) const {
+  MIFO_EXPECTS(r.value() < routers_.size());
+  return routers_[r.value()];
+}
+
+Host& Network::host(HostId h) {
+  MIFO_EXPECTS(h.value() < hosts_.size());
+  return hosts_[h.value()];
+}
+
+const Host& Network::host(HostId h) const {
+  MIFO_EXPECTS(h.value() < hosts_.size());
+  return hosts_[h.value()];
+}
+
+Addr Network::router_addr(RouterId r) const {
+  MIFO_EXPECTS(r.value() < routers_.size());
+  return routers_[r.value()].addr();
+}
+
+Addr Network::host_addr(HostId h) const {
+  MIFO_EXPECTS(h.value() < hosts_.size());
+  return hosts_[h.value()].addr;
+}
+
+FlowId Network::start_flow(const FlowParams& params) {
+  MIFO_EXPECTS(host(params.src).connected);
+  MIFO_EXPECTS(host(params.dst).connected);
+  MIFO_EXPECTS(params.size > 0);
+  MIFO_EXPECTS(params.pkt_size > 0);
+  FlowState f;
+  f.id = FlowId(flows_.size());
+  f.params = params;
+  f.src_addr = host_addr(params.src);
+  f.dst_addr = host_addr(params.dst);
+  f.total_pkts = static_cast<std::uint32_t>(
+      (params.size + params.pkt_size - 1) / params.pkt_size);
+  flows_.push_back(std::move(f));
+
+  Event ev;
+  ev.t = std::max(params.start, now_);
+  ev.kind = EvKind::FlowStart;
+  ev.a = static_cast<std::uint32_t>(flows_.size() - 1);
+  push_event(ev);
+  return flows_.back().id;
+}
+
+FlowState& Network::flow(FlowId id) {
+  MIFO_EXPECTS(id.value() < flows_.size());
+  return flows_[static_cast<std::size_t>(id.value())];
+}
+
+void Network::set_flow_complete_callback(
+    std::function<void(Network&, FlowState&)> cb) {
+  flow_complete_cb_ = std::move(cb);
+}
+
+void Network::add_periodic(SimTime interval,
+                           std::function<void(Network&, SimTime)> fn) {
+  MIFO_EXPECTS(interval > 0.0);
+  periodics_.push_back(PeriodicTask{interval, std::move(fn)});
+  Event ev;
+  ev.t = now_ + interval;
+  ev.kind = EvKind::Periodic;
+  ev.a = static_cast<std::uint32_t>(periodics_.size() - 1);
+  push_event(ev);
+}
+
+void Network::enable_delivery_trace(SimTime bucket_width) {
+  MIFO_EXPECTS(bucket_width > 0.0);
+  bucket_width_ = bucket_width;
+  delivery_bytes_.clear();
+}
+
+void Network::run_until(SimTime t_end) {
+  while (!events_.empty() && events_.top().t <= t_end) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_ = ev.t;
+    dispatch(ev);
+  }
+  now_ = std::max(now_, t_end);
+}
+
+void Network::run_to_completion(SimTime t_cap) {
+  while (!events_.empty() && events_.top().t <= t_cap) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_ = ev.t;
+    dispatch(ev);
+  }
+}
+
+void Network::push_event(Event ev) {
+  ev.order = event_seq_++;
+  events_.push(std::move(ev));
+}
+
+void Network::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EvKind::ArriveRouter:
+      router(RouterId(ev.a)).handle_packet(*this, ev.pkt, PortId(ev.b));
+      break;
+    case EvKind::ArriveHost:
+      deliver_to_host(HostId(ev.a), ev.pkt);
+      break;
+    case EvKind::TxDoneRouter: {
+      Port& p = router(RouterId(ev.a)).port(PortId(ev.b));
+      p.busy = false;
+      if (!p.queue.empty()) begin_tx(NodeRef::router(RouterId(ev.a)), p, ev.b);
+      break;
+    }
+    case EvKind::TxDoneHost: {
+      Port& p = host(HostId(ev.a)).uplink;
+      p.busy = false;
+      if (!p.queue.empty()) begin_tx(NodeRef::host(HostId(ev.a)), p, 0);
+      break;
+    }
+    case EvKind::FlowStart:
+      transport::on_start(*this, flows_[ev.a]);
+      break;
+    case EvKind::FlowTimer: {
+      FlowState& f = flows_[ev.a];
+      f.timer_pending = false;
+      transport::on_timer(*this, f);
+      break;
+    }
+    case EvKind::Periodic: {
+      PeriodicTask& task = periodics_[ev.a];
+      task.fn(*this, now_);
+      Event next;
+      next.t = now_ + task.interval;
+      next.kind = EvKind::Periodic;
+      next.a = ev.a;
+      push_event(next);
+      break;
+    }
+  }
+}
+
+void Network::begin_tx(NodeRef node, Port& port, std::uint32_t port_index) {
+  MIFO_EXPECTS(!port.busy);
+  MIFO_EXPECTS(!port.queue.empty());
+  Packet p = std::move(port.queue.front());
+  port.queue.pop_front();
+  port.queue_bytes -= p.wire_bytes();
+  port.busy = true;
+  port.bytes_sent_total += p.wire_bytes();
+  ++port.pkts_sent_total;
+
+  const SimTime tx = transfer_seconds(p.wire_bytes(), port.rate);
+
+  Event done;
+  done.t = now_ + tx;
+  done.kind = node.is_router() ? EvKind::TxDoneRouter : EvKind::TxDoneHost;
+  done.a = node.id;
+  done.b = port_index;
+  push_event(done);
+
+  Event arrive;
+  arrive.t = now_ + tx + port.delay;
+  if (port.peer.is_router()) {
+    arrive.kind = EvKind::ArriveRouter;
+    arrive.a = port.peer.id;
+    arrive.b = port.peer_port.value();
+  } else {
+    arrive.kind = EvKind::ArriveHost;
+    arrive.a = port.peer.id;
+  }
+  arrive.pkt = std::move(p);
+  push_event(arrive);
+}
+
+void Network::enqueue_on(NodeRef node, Port& port, std::uint32_t port_index,
+                         Packet p) {
+  if (!port.up) {
+    ++port.drops_down;
+    return;
+  }
+  if (!port.can_accept(p)) {
+    ++port.drops_overflow;
+    return;
+  }
+  port.queue_bytes += p.wire_bytes();
+  port.queue.push_back(std::move(p));
+  if (!port.busy) begin_tx(node, port, port_index);
+}
+
+void Network::transmit_router(RouterId r, PortId port, Packet p) {
+  Router& rr = router(r);
+  enqueue_on(NodeRef::router(r), rr.port(port), port.value(), std::move(p));
+}
+
+void Network::transmit_host(HostId h, Packet p) {
+  Host& hh = host(h);
+  MIFO_EXPECTS(hh.connected);
+  enqueue_on(NodeRef::host(h), hh.uplink, 0, std::move(p));
+}
+
+void Network::arm_flow_timer(FlowState& f) {
+  if (f.timer_pending || f.done) return;
+  f.timer_pending = true;
+  Event ev;
+  ev.t = now_ + f.rto;
+  ev.kind = EvKind::FlowTimer;
+  ev.a = static_cast<std::uint32_t>(f.id.value());
+  push_event(ev);
+}
+
+void Network::note_delivery(const FlowState& f, std::uint32_t pkts) {
+  if (bucket_width_ <= 0.0) return;
+  const auto idx = static_cast<std::size_t>(now_ / bucket_width_);
+  if (delivery_bytes_.size() <= idx) delivery_bytes_.resize(idx + 1, 0);
+  delivery_bytes_[idx] += static_cast<Bytes>(pkts) * f.params.pkt_size;
+}
+
+void Network::note_completion(FlowState& f) {
+  if (flow_complete_cb_) flow_complete_cb_(*this, f);
+}
+
+void Network::deliver_to_host(HostId h, const Packet& p) {
+  Host& hh = host(h);
+  if (p.dst != hh.addr) return;  // mis-delivered; drop silently
+  // Raw packets injected by tests/tools carry flow ids with no transport
+  // state; they end here.
+  if (p.flow.value() >= flows_.size()) return;
+  FlowState& f = flow(p.flow);
+  if (p.kind == PacketKind::Data) {
+    const std::uint32_t delivered = transport::on_data(*this, f, p);
+    if (delivered > 0) note_delivery(f, delivered);
+  } else {
+    transport::on_ack(*this, f, p);
+  }
+}
+
+RouterCounters Network::total_counters() const {
+  RouterCounters total;
+  for (const auto& r : routers_) {
+    const auto& c = r.counters();
+    total.forwarded += c.forwarded;
+    total.deflected += c.deflected;
+    total.encapsulated += c.encapsulated;
+    total.returned_detected += c.returned_detected;
+    total.valley_drops += c.valley_drops;
+    total.no_route_drops += c.no_route_drops;
+    total.ttl_drops += c.ttl_drops;
+    total.flow_switches += c.flow_switches;
+  }
+  return total;
+}
+
+}  // namespace mifo::dp

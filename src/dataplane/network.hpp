@@ -1,0 +1,157 @@
+// Event-driven packet network: routers, hosts, links, flows and the event
+// loop gluing them together. This is the NS-3/testbed substitute the
+// Fig. 11/12 experiments and the Algorithm-1 unit tests run on.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dataplane/packet.hpp"
+#include "dataplane/port.hpp"
+#include "dataplane/router.hpp"
+#include "dataplane/transport.hpp"
+
+namespace mifo::dp {
+
+struct Host {
+  HostId id;
+  Addr addr = kInvalidAddr;
+  Port uplink;
+  bool connected = false;
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology construction ------------------------------------------------
+  RouterId add_router(AsId as);
+  HostId add_host();
+
+  /// Inter-AS (eBGP) link; `b_as_is_to_a_as` is the business relationship of
+  /// b's AS as seen from a's AS (topo::Rel::Customer = b's AS pays a's).
+  std::pair<PortId, PortId> connect_ebgp(RouterId a, RouterId b,
+                                         topo::Rel b_as_is_to_a_as,
+                                         Mbps rate = kGigabit,
+                                         SimTime delay = 50e-6);
+
+  /// Intra-AS (iBGP full-mesh) link. Both routers must share an AS.
+  std::pair<PortId, PortId> connect_ibgp(RouterId a, RouterId b,
+                                         Mbps rate = 10 * kGigabit,
+                                         SimTime delay = 20e-6);
+
+  /// Access link. Returns the router-side port id (host side is implicit).
+  PortId connect_host(RouterId r, HostId h, Mbps rate = kGigabit,
+                      SimTime delay = 20e-6);
+
+  // --- accessors --------------------------------------------------------------
+  [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  [[nodiscard]] Router& router(RouterId r);
+  [[nodiscard]] const Router& router(RouterId r) const;
+  [[nodiscard]] Host& host(HostId h);
+  [[nodiscard]] const Host& host(HostId h) const;
+  [[nodiscard]] Addr router_addr(RouterId r) const;
+  [[nodiscard]] Addr host_addr(HostId h) const;
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // --- flows --------------------------------------------------------------------
+  FlowId start_flow(const FlowParams& params);
+  [[nodiscard]] const std::vector<FlowState>& flows() const { return flows_; }
+  [[nodiscard]] FlowState& flow(FlowId id);
+  /// Invoked whenever a flow completes (used to chain back-to-back flows).
+  void set_flow_complete_callback(std::function<void(Network&, FlowState&)> cb);
+
+  // --- periodic work (MIFO daemon ticks, monitors) ----------------------------
+  void add_periodic(SimTime interval,
+                    std::function<void(Network&, SimTime)> fn);
+
+  // --- delivery trace (Fig. 12(a) aggregate-throughput series) ---------------
+  void enable_delivery_trace(SimTime bucket_width);
+  [[nodiscard]] const std::vector<Bytes>& delivery_buckets() const {
+    return delivery_bytes_;
+  }
+  [[nodiscard]] SimTime delivery_bucket_width() const { return bucket_width_; }
+
+  // --- execution ---------------------------------------------------------------
+  /// Processes events up to and including `t_end`.
+  void run_until(SimTime t_end);
+  /// Runs until the event queue drains or `t_cap` is hit.
+  void run_to_completion(SimTime t_cap);
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+  // --- data-plane services (used by Router and transport) --------------------
+  /// Enqueue `p` on router r's port, honouring queue capacity; starts
+  /// transmission when the port is idle.
+  void transmit_router(RouterId r, PortId port, Packet p);
+  /// Enqueue `p` on the host's uplink.
+  void transmit_host(HostId h, Packet p);
+  /// Lazily arm the flow's retransmission timer.
+  void arm_flow_timer(FlowState& f);
+  /// Receiver delivered `pkts` packets in order (throughput trace hook).
+  void note_delivery(const FlowState& f, std::uint32_t pkts);
+  /// A flow just finished (transport calls this exactly once per flow).
+  void note_completion(FlowState& f);
+
+  /// Sum of all router counters.
+  [[nodiscard]] RouterCounters total_counters() const;
+
+ private:
+  enum class EvKind : std::uint8_t {
+    ArriveRouter,
+    ArriveHost,
+    TxDoneRouter,
+    TxDoneHost,
+    FlowStart,
+    FlowTimer,
+    Periodic,
+  };
+
+  struct Event {
+    SimTime t = 0.0;
+    std::uint64_t order = 0;
+    EvKind kind = EvKind::Periodic;
+    std::uint32_t a = 0;  ///< node id / flow index / periodic index
+    std::uint32_t b = 0;  ///< port id
+    Packet pkt;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.t != y.t) return x.t > y.t;
+      return x.order > y.order;
+    }
+  };
+
+  struct PeriodicTask {
+    SimTime interval;
+    std::function<void(Network&, SimTime)> fn;
+  };
+
+  void push_event(Event ev);
+  void dispatch(const Event& ev);
+  void begin_tx(NodeRef node, Port& port, std::uint32_t port_index);
+  void enqueue_on(NodeRef node, Port& port, std::uint32_t port_index,
+                  Packet p);
+  void deliver_to_host(HostId h, const Packet& p);
+
+  std::vector<Router> routers_;
+  std::vector<Host> hosts_;
+  std::vector<FlowState> flows_;
+  std::vector<PeriodicTask> periodics_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::function<void(Network&, FlowState&)> flow_complete_cb_;
+  SimTime now_ = 0.0;
+  std::uint64_t event_seq_ = 0;
+
+  SimTime bucket_width_ = 0.0;
+  std::vector<Bytes> delivery_bytes_;
+
+  friend class Router;
+};
+
+}  // namespace mifo::dp

@@ -1,0 +1,106 @@
+// SACK-based AIMD transport (TCP-Reno congestion control with a selective
+// acknowledgment scoreboard) for the packet plane.
+//
+// The paper's testbed measures competing TCP flows; this module provides the
+// closed-loop congestion control that makes the emulated experiments react
+// to queue build-up and drops. The receiver acknowledges cumulatively and
+// echoes the sequence number that triggered each ACK, which gives the sender
+// exact per-packet delivery information (an idealized SACK). Loss is
+// inferred when three later packets are selectively acknowledged; each lost
+// packet is retransmitted at most once per RTO. This is deliberately robust
+// to the reordering bursts MIFO's path switches produce: duplicate arrivals
+// are recognised as such and can never masquerade as loss signals (the
+// classic dupack-counting livelock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/types.hpp"
+#include "dataplane/packet.hpp"
+
+namespace mifo::dp {
+
+class Network;
+
+struct FlowParams {
+  HostId src;
+  HostId dst;
+  Bytes size = 10 * kMegaByte;
+  std::uint32_t pkt_size = 1000;  ///< paper: data packet 1 KB
+  SimTime start = 0.0;
+};
+
+struct FlowState {
+  FlowId id;
+  FlowParams params;
+  Addr src_addr = kInvalidAddr;
+  Addr dst_addr = kInvalidAddr;
+  std::uint32_t total_pkts = 0;
+
+  // --- sender: congestion control -----------------------------------------
+  double cwnd = 4.0;
+  /// Initial slow-start threshold in packets: about one bandwidth-delay
+  /// product plus bottleneck queue at gigabit speed, keeping the first
+  /// overshoot (and the resulting loss burst) bounded.
+  double ssthresh = 96.0;
+  bool in_recovery = false;     ///< one multiplicative decrease per window
+  std::uint32_t recover_seq = 0;
+
+  // --- sender: scoreboard ---------------------------------------------------
+  std::uint32_t next_seq = 0;     ///< next sequence the send loop offers
+  std::uint32_t highest_sent = 0; ///< 1 + max seq ever transmitted
+  std::uint32_t high_acked = 0;   ///< cumulative: first unacked seq
+  std::set<std::uint32_t> sacked;            ///< delivered beyond high_acked
+  std::uint32_t highest_sacked = 0;          ///< 1 + max delivered seq
+  std::map<std::uint32_t, SimTime> retx_at;  ///< per-seq last retransmission
+
+  SimTime rto = 0.02;
+  SimTime last_progress = 0.0;
+  bool timer_pending = false;
+  std::uint64_t retransmits = 0;
+
+  bool started = false;
+  bool done = false;
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+
+  // --- receiver --------------------------------------------------------------
+  std::uint32_t expected = 0;  ///< next in-order seq awaited
+  std::set<std::uint32_t> ooo;
+
+  /// Unacknowledged, un-SACKed segments below the send frontier. After an
+  /// RTO rewinds next_seq, SACKed segments above it are excluded.
+  [[nodiscard]] std::uint32_t inflight() const {
+    if (next_seq <= high_acked) return 0;
+    const auto sacked_below = static_cast<std::uint32_t>(
+        std::distance(sacked.begin(), sacked.lower_bound(next_seq)));
+    return next_seq - high_acked - sacked_below;
+  }
+  [[nodiscard]] SimTime completion_time() const { return end_time - start_time; }
+  [[nodiscard]] Mbps achieved_mbps() const {
+    const SimTime d = completion_time();
+    return d > 0 ? to_megabits(params.size) / d : 0.0;
+  }
+};
+
+namespace transport {
+
+/// Begin transmission (called when the FlowStart event fires).
+void on_start(Network& net, FlowState& f);
+
+/// Sender-side ACK processing (cumulative ack_no + echoed seq).
+void on_ack(Network& net, FlowState& f, const Packet& ack);
+
+/// Receiver-side data processing; emits the cumulative ACK (echoing the
+/// data's sequence) and returns the number of packets newly delivered in
+/// order (for the throughput trace).
+std::uint32_t on_data(Network& net, FlowState& f, const Packet& data);
+
+/// Retransmission-timer expiry.
+void on_timer(Network& net, FlowState& f);
+
+}  // namespace transport
+
+}  // namespace mifo::dp

@@ -1,0 +1,57 @@
+#include "miro/miro.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::miro {
+
+std::vector<bgp::Route> alternatives(const topo::AsGraph& g,
+                                     const bgp::DestRoutes& routes, AsId src,
+                                     const std::vector<bool>& deployed,
+                                     const MiroConfig& cfg) {
+  MIFO_EXPECTS(src.value() < g.num_ases());
+  MIFO_EXPECTS(deployed.size() == g.num_ases());
+  std::vector<bgp::Route> alts;
+  if (!deployed[src.value()]) return alts;
+  const bgp::Route& def = routes.best(src);
+  if (!def.valid() || def.cls == bgp::RouteClass::Self) return alts;
+
+  for (const auto& nb : g.neighbors(src)) {
+    if (nb.as == def.next_hop) continue;
+    if (!deployed[nb.as.value()]) continue;  // bilateral negotiation
+    const auto offer = bgp::rib_route_from(g, routes, src, nb.as);
+    if (!offer) continue;
+    // Strict policy: same local preference class as the default only.
+    if (offer->cls != def.cls) continue;
+    alts.push_back(*offer);
+  }
+  std::sort(alts.begin(), alts.end(),
+            [](const bgp::Route& a, const bgp::Route& b) {
+              return a.better_than(b);
+            });
+  if (alts.size() > cfg.max_alternatives) alts.resize(cfg.max_alternatives);
+  return alts;
+}
+
+std::size_t path_count(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+                       AsId src, const std::vector<bool>& deployed,
+                       const MiroConfig& cfg) {
+  const bgp::Route& def = routes.best(src);
+  if (!def.valid()) return 0;
+  if (def.cls == bgp::RouteClass::Self) return 1;
+  return 1 + alternatives(g, routes, src, deployed, cfg).size();
+}
+
+std::vector<AsId> alt_path(const topo::AsGraph& g,
+                           const bgp::DestRoutes& routes, AsId src,
+                           AsId via) {
+  std::vector<AsId> path;
+  if (!routes.best(via).valid()) return path;
+  path.push_back(src);
+  const auto tail = bgp::as_path(g, routes, via);
+  path.insert(path.end(), tail.begin(), tail.end());
+  return path;
+}
+
+}  // namespace mifo::miro

@@ -1,0 +1,45 @@
+// MIRO baseline (Xu & Rexford, SIGCOMM 2006) under the paper's "strict
+// policy" (Section IV-A): an AS announces only alternative paths with the
+// same local preference (relationship class) as its default path, and the
+// number of advertised alternatives is strictly limited for scalability.
+//
+// MIRO tunnels are negotiated pairwise, so deflection happens only at the
+// negotiating (source) AS — transit ASes keep forwarding on their defaults.
+// This is the property that separates MIRO from MIFO in Figs. 5–7.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::miro {
+
+struct MiroConfig {
+  /// Strict-policy cap on alternative routes per destination.
+  std::size_t max_alternatives = 2;
+};
+
+/// Alternative routes available to `src` towards routes.dest(): neighbors
+/// other than the default next hop that export a route of the *same class*
+/// as the default, best-first, capped at cfg.max_alternatives. Requires both
+/// `src` and the alternate next-hop AS to be MIRO-deployed (the tunnel is
+/// negotiated bilaterally); returns empty otherwise.
+[[nodiscard]] std::vector<bgp::Route> alternatives(
+    const topo::AsGraph& g, const bgp::DestRoutes& routes, AsId src,
+    const std::vector<bool>& deployed, const MiroConfig& cfg = {});
+
+/// Total number of distinct paths MIRO gives the pair (src, dest):
+/// the default plus the surviving alternatives; 0 when unreachable.
+[[nodiscard]] std::size_t path_count(const topo::AsGraph& g,
+                                     const bgp::DestRoutes& routes, AsId src,
+                                     const std::vector<bool>& deployed,
+                                     const MiroConfig& cfg = {});
+
+/// The full AS path of the alternative through `via` (src prepended to via's
+/// default path). Empty when via has no route.
+[[nodiscard]] std::vector<AsId> alt_path(const topo::AsGraph& g,
+                                         const bgp::DestRoutes& routes,
+                                         AsId src, AsId via);
+
+}  // namespace mifo::miro

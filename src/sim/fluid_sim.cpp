@@ -1,0 +1,275 @@
+#include "sim/fluid_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "sim/maxmin.hpp"
+
+namespace mifo::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kRemEps = 1e-6;   // megabits (~0.1 byte)
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+FluidSim::FluidSim(const topo::AsGraph& g, SimConfig cfg)
+    : g_(g), cfg_(cfg) {
+  MIFO_EXPECTS(cfg.link_capacity > 0.0);
+  MIFO_EXPECTS(cfg.congest_threshold > 0.0 && cfg.congest_threshold <= 1.0);
+  MIFO_EXPECTS(cfg.low_watermark >= 0.0 &&
+               cfg.low_watermark <= cfg.congest_threshold);
+  MIFO_EXPECTS(cfg.reeval_interval > 0.0);
+  deployed_.assign(g.num_ases(), false);
+  capacity_.assign(g.num_directed_links(), cfg.link_capacity);
+  alloc_.assign(g.num_directed_links(), 0.0);
+}
+
+void FluidSim::set_deployment(std::vector<bool> deployed) {
+  MIFO_EXPECTS(deployed.size() == g_.num_ases());
+  deployed_ = std::move(deployed);
+}
+
+const bgp::DestRoutes& FluidSim::routes_for(AsId dest) {
+  auto it = cache_.find(dest.value());
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(dest.value(), std::make_unique<bgp::DestRoutes>(
+                                        bgp::compute_routes(g_, dest)))
+             .first;
+  }
+  return *it->second;
+}
+
+double FluidSim::utilization(std::uint32_t link) const {
+  return alloc_[link] / capacity_[link];
+}
+
+core::WalkResult FluidSim::route_flow(AsId src, AsId dest) {
+  const bgp::DestRoutes& routes = routes_for(dest);
+  switch (cfg_.mode) {
+    case RoutingMode::Bgp:
+      return core::bgp_walk(g_, routes, src);
+    case RoutingMode::Mifo: {
+      core::WalkConfig wc;
+      wc.congest_threshold = cfg_.congest_threshold;
+      wc.min_spare_margin = cfg_.spare_margin;
+      wc.max_extra_hops = cfg_.max_extra_hops;
+      wc.selection = cfg_.alt_selection;
+      return core::mifo_walk(
+          g_, routes, deployed_, src,
+          [this](LinkId l) { return utilization(l.value()); }, wc);
+    }
+    case RoutingMode::Miro: {
+      core::WalkResult def = core::bgp_walk(g_, routes, src);
+      if (!def.reachable) return def;
+      double worst = 0.0;
+      for (const LinkId l : def.links) {
+        worst = std::max(worst, utilization(l.value()));
+      }
+      if (worst < cfg_.congest_threshold) return def;
+      // Source-only deflection over the (pre-negotiated, static) tunnels:
+      // take the most-preferred alternative whose own first hop is not
+      // congested. MIRO tunnels are negotiated on the control plane; the
+      // source has no end-to-end load visibility.
+      const auto alts =
+          miro::alternatives(g_, routes, src, deployed_, cfg_.miro);
+      for (const auto& alt : alts) {
+        const LinkId first = g_.link(src, alt.next_hop);
+        if (utilization(first.value()) >= cfg_.congest_threshold) continue;
+        const auto path = miro::alt_path(g_, routes, src, alt.next_hop);
+        if (path.empty()) continue;
+        core::WalkResult cand;
+        cand.reachable = true;
+        cand.path = path;
+        cand.links = core::links_of_path(g_, path);
+        cand.deflections = 1;
+        return cand;
+      }
+      return def;
+    }
+  }
+  return {};
+}
+
+void FluidSim::recompute_rates() {
+  // Clear previous allocations (only links that were touched).
+  for (const auto& f : active_) {
+    for (const std::uint32_t l : f.links) alloc_[l] = 0.0;
+  }
+  static thread_local std::vector<std::vector<std::uint32_t>> paths;
+  paths.clear();
+  paths.reserve(active_.size());
+  for (const auto& f : active_) paths.push_back(f.links);
+
+  MaxMinInput in;
+  in.flow_links = paths;
+  in.link_capacity = capacity_;
+  in.flow_cap = cfg_.flow_rate_cap;
+  const auto rates = max_min_rates(in);
+
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    active_[i].rate = rates[i];
+    for (const std::uint32_t l : active_[i].links) alloc_[l] += rates[i];
+  }
+}
+
+void FluidSim::reevaluate_paths(std::vector<FlowRecord>& records) {
+  if (cfg_.mode == RoutingMode::Bgp) return;
+  for (auto& f : active_) {
+    FlowRecord& rec = records[f.record];
+    const AsId src = rec.spec.src;
+    const AsId dst = rec.spec.dst;
+
+    // Evaluate congestion as the flow's border routers would see it:
+    // without the flow's own contribution. A lone flow saturating a link is
+    // not congestion worth fleeing — counting it makes every full link
+    // "congested" under max–min and the flow would oscillate between its
+    // default and an alternative forever.
+    for (const std::uint32_t l : f.links) alloc_[l] -= f.rate;
+
+    bool should_reroute = false;
+    if (!f.deflected) {
+      // Default path hit congestion?
+      for (const std::uint32_t l : f.links) {
+        if (utilization(l) >= cfg_.congest_threshold) {
+          should_reroute = true;
+          break;
+        }
+      }
+    } else {
+      // Hysteresis: resume the default path once it has drained…
+      bool default_clear = true;
+      for (const std::uint32_t l : f.deflt) {
+        if (utilization(l) >= cfg_.low_watermark) {
+          default_clear = false;
+          break;
+        }
+      }
+      // Deflected flows do NOT hop between alternatives: under max–min
+      // sharing every loaded bottleneck sits at full utilization, so
+      // alternative-fleeing would re-shuffle the whole population every
+      // tick. The paper's stability numbers (Fig. 9: two thirds of
+      // switching flows switch exactly once) reflect this
+      // deflect-once/return-once discipline.
+      should_reroute = default_clear;
+    }
+
+    if (should_reroute) {
+      core::WalkResult w = route_flow(src, dst);
+      MIFO_ASSERT(w.reachable);  // it was reachable at admission
+      std::vector<std::uint32_t> links;
+      links.reserve(w.links.size());
+      for (const LinkId l : w.links) links.push_back(l.value());
+      if (links != f.links) {
+        f.links = std::move(links);
+        f.deflected = w.deflections > 0;
+        ++rec.path_switches;
+        rec.used_alternative = rec.used_alternative || f.deflected;
+      }
+    }
+
+    // Re-charge the (possibly moved) flow so later flows in this tick see
+    // the shifted load.
+    for (const std::uint32_t l : f.links) alloc_[l] += f.rate;
+  }
+}
+
+std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
+  std::sort(specs.begin(), specs.end(),
+            [](const traffic::FlowSpec& a, const traffic::FlowSpec& b) {
+              return a.arrival < b.arrival;
+            });
+  std::vector<FlowRecord> records(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) records[i].spec = specs[i];
+
+  active_.clear();
+  SimTime t = 0.0;
+  SimTime next_tick = cfg_.reeval_interval;
+  std::size_t ai = 0;
+
+  while (ai < specs.size() || !active_.empty()) {
+    const SimTime t_arr = ai < specs.size() ? specs[ai].arrival : kInf;
+    SimTime t_comp = kInf;
+    for (const auto& f : active_) {
+      if (f.rate > 0.0) {
+        t_comp = std::min(t_comp, t + f.remaining_mb / f.rate);
+      }
+    }
+    const SimTime t_tick =
+        (cfg_.mode == RoutingMode::Bgp || active_.empty()) ? kInf : next_tick;
+    const SimTime t_next = std::min({t_arr, t_comp, t_tick});
+    MIFO_ASSERT(t_next < kInf);
+    MIFO_ASSERT(t_next >= t - kTimeEps);
+
+    // Fluid advance.
+    const SimTime dt = std::max(0.0, t_next - t);
+    if (dt > 0.0) {
+      for (auto& f : active_) f.remaining_mb -= f.rate * dt;
+    }
+    t = t_next;
+
+    bool changed = false;
+
+    // Completions.
+    for (std::size_t i = 0; i < active_.size();) {
+      if (active_[i].remaining_mb <= kRemEps) {
+        FlowRecord& rec = records[active_[i].record];
+        rec.completed = true;
+        rec.finish = t;
+        for (const std::uint32_t l : active_[i].links) {
+          alloc_[l] -= active_[i].rate;
+        }
+        active_[i] = std::move(active_.back());
+        active_.pop_back();
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Arrivals.
+    while (ai < specs.size() && specs[ai].arrival <= t + kTimeEps) {
+      const auto& spec = specs[ai];
+      core::WalkResult w = route_flow(spec.src, spec.dst);
+      if (!w.reachable) {
+        records[ai].unreachable = true;
+        ++ai;
+        continue;
+      }
+      ActiveFlow f;
+      f.record = static_cast<std::uint32_t>(ai);
+      f.dest_as = spec.dst.value();
+      f.links.reserve(w.links.size());
+      for (const LinkId l : w.links) f.links.push_back(l.value());
+      const auto& routes = routes_for(spec.dst);
+      const auto def = core::bgp_walk(g_, routes, spec.src);
+      f.deflt.reserve(def.links.size());
+      for (const LinkId l : def.links) f.deflt.push_back(l.value());
+      f.remaining_mb = to_megabits(spec.size);
+      f.deflected = w.deflections > 0;
+      if (f.deflected) {
+        // The initial deflection is the flow's first path switch.
+        records[ai].path_switches = 1;
+        records[ai].used_alternative = true;
+      }
+      active_.push_back(std::move(f));
+      changed = true;
+      ++ai;
+    }
+
+    // Re-evaluation tick.
+    if (t_tick < kInf && t >= t_tick - kTimeEps) {
+      reevaluate_paths(records);
+      changed = true;
+      while (next_tick <= t + kTimeEps) next_tick += cfg_.reeval_interval;
+    }
+
+    if (changed) recompute_rates();
+  }
+
+  return records;
+}
+
+}  // namespace mifo::sim

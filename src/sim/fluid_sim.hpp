@@ -1,0 +1,110 @@
+// Event-driven flow-level (fluid) simulator for the AS topology.
+//
+// Replaces the paper's NS-3 runs for the Figs. 5/6/8/9 experiments: flows
+// arrive by a Poisson process, rates follow max–min fair sharing of the
+// 1 Gbps inter-AS links, and the routing policy (BGP / MIRO / MIFO) decides
+// each flow's AS-level path at admission and on periodic re-evaluation
+// ticks (the MIFO daemon period). Path switches and alternative-path usage
+// are recorded per flow for the load-balancing and stability figures.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/routing.hpp"
+#include "core/walk.hpp"
+#include "miro/miro.hpp"
+#include "topo/as_graph.hpp"
+#include "traffic/spec.hpp"
+
+namespace mifo::sim {
+
+enum class RoutingMode : std::uint8_t { Bgp, Miro, Mifo };
+
+[[nodiscard]] constexpr const char* to_string(RoutingMode m) {
+  switch (m) {
+    case RoutingMode::Bgp:
+      return "BGP";
+    case RoutingMode::Miro:
+      return "MIRO";
+    case RoutingMode::Mifo:
+      return "MIFO";
+  }
+  return "?";
+}
+
+struct SimConfig {
+  RoutingMode mode = RoutingMode::Bgp;
+  Mbps link_capacity = kGigabit;  ///< paper: all links 1 Gbps
+  /// Utilization of the default egress at which MIFO deflects.
+  double congest_threshold = 0.7;
+  /// Greedy-selection knobs (see core::WalkConfig; swept by ablation A3).
+  double spare_margin = 0.2;
+  std::uint16_t max_extra_hops = 1;
+  core::AltSelection alt_selection = core::AltSelection::LocalGreedy;
+  /// Default-path utilization under which a deflected flow resumes it.
+  double low_watermark = 0.5;
+  /// Path re-evaluation period (the daemon tick).
+  SimTime reeval_interval = 0.1;
+  /// Per-flow ceiling (access-link speed); the paper's flows cannot exceed
+  /// one link's capacity.
+  Mbps flow_rate_cap = kGigabit;
+  miro::MiroConfig miro{};
+};
+
+struct FlowRecord {
+  traffic::FlowSpec spec;
+  SimTime finish = -1.0;
+  bool completed = false;
+  bool unreachable = false;
+  std::uint32_t path_switches = 0;
+  /// Whether the flow was ever carried over a non-default path.
+  bool used_alternative = false;
+
+  [[nodiscard]] Mbps throughput() const {
+    const SimTime d = finish - spec.arrival;
+    return (completed && d > 0.0) ? to_megabits(spec.size) / d : 0.0;
+  }
+};
+
+class FluidSim {
+ public:
+  FluidSim(const topo::AsGraph& g, SimConfig cfg);
+
+  /// MIFO/MIRO capability mask (defaults to all-false, i.e. plain BGP).
+  void set_deployment(std::vector<bool> deployed);
+
+  /// Runs the whole trace to completion and returns one record per flow.
+  [[nodiscard]] std::vector<FlowRecord> run(
+      std::vector<traffic::FlowSpec> specs);
+
+  /// Converged routes towards `dest` (cached; exposed for tests).
+  [[nodiscard]] const bgp::DestRoutes& routes_for(AsId dest);
+
+ private:
+  struct ActiveFlow {
+    std::uint32_t record = 0;           ///< index into records
+    std::uint32_t dest_as = 0;
+    std::vector<std::uint32_t> links;   ///< current path (directed links)
+    std::vector<std::uint32_t> deflt;   ///< default-path links
+    double remaining_mb = 0.0;          ///< megabits left
+    double rate = 0.0;
+    bool deflected = false;
+  };
+
+  [[nodiscard]] double utilization(std::uint32_t link) const;
+  [[nodiscard]] core::WalkResult route_flow(AsId src, AsId dest);
+  void recompute_rates();
+  void reevaluate_paths(std::vector<FlowRecord>& records);
+
+  const topo::AsGraph& g_;
+  SimConfig cfg_;
+  std::vector<bool> deployed_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<bgp::DestRoutes>> cache_;
+  std::vector<double> capacity_;  ///< per directed link
+  std::vector<double> alloc_;    ///< per directed link, allocated Mbps
+  std::vector<ActiveFlow> active_;
+};
+
+}  // namespace mifo::sim

@@ -1,0 +1,30 @@
+// Max–min fair rate allocation by progressive filling (water-filling).
+//
+// The fluid simulator's stand-in for per-packet TCP dynamics: on an AS-level
+// topology with long-lived greedy flows, TCP throughput converges to an
+// approximately max–min fair share of the bottleneck links, which is what
+// the paper's NS-3 runs measure at the flow level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mifo::sim {
+
+struct MaxMinInput {
+  /// One entry per flow: the directed link ids its path crosses. Flows with
+  /// empty paths receive `flow_cap`.
+  std::span<const std::vector<std::uint32_t>> flow_links;
+  /// Capacity of link id l (only ids referenced by flows are read).
+  std::span<const double> link_capacity;
+  /// Per-flow rate ceiling (access-link speed); <=0 disables the ceiling.
+  double flow_cap = 0.0;
+};
+
+/// Max–min fair rates, one per flow. Exact progressive filling:
+/// every flow's rate rises uniformly until its first bottleneck freezes it.
+/// O(#bottleneck-rounds * #used-links + total path length).
+[[nodiscard]] std::vector<double> max_min_rates(const MaxMinInput& in);
+
+}  // namespace mifo::sim

@@ -1,0 +1,65 @@
+#include "sim/metrics.hpp"
+
+namespace mifo::sim {
+
+Cdf throughput_cdf(std::span<const FlowRecord> records) {
+  Cdf cdf;
+  for (const auto& r : records) {
+    if (r.completed) cdf.add(r.throughput());
+  }
+  return cdf;
+}
+
+double offload_fraction(std::span<const FlowRecord> records) {
+  std::size_t delivered = 0;
+  std::size_t offloaded = 0;
+  for (const auto& r : records) {
+    if (!r.completed) continue;
+    ++delivered;
+    if (r.used_alternative) ++offloaded;
+  }
+  return delivered == 0 ? 0.0
+                        : static_cast<double>(offloaded) /
+                              static_cast<double>(delivered);
+}
+
+IntCounter switch_distribution(std::span<const FlowRecord> records) {
+  IntCounter counter;
+  for (const auto& r : records) {
+    if (r.completed && r.path_switches > 0) counter.add(r.path_switches);
+  }
+  return counter;
+}
+
+double fraction_at_least(std::span<const FlowRecord> records, Mbps mbps) {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  for (const auto& r : records) {
+    if (!r.completed) continue;
+    ++total;
+    if (r.throughput() >= mbps) ++ok;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(ok) / static_cast<double>(total);
+}
+
+RunSummary summarize(std::span<const FlowRecord> records) {
+  RunSummary s;
+  s.total = records.size();
+  RunningStats stats;
+  Cdf cdf;
+  for (const auto& r : records) {
+    if (r.unreachable) ++s.unreachable;
+    if (!r.completed) continue;
+    ++s.completed;
+    stats.add(r.throughput());
+    cdf.add(r.throughput());
+  }
+  s.mean_throughput = stats.mean();
+  s.median_throughput = s.completed > 0 ? cdf.quantile(0.5) : 0.0;
+  s.frac_at_500mbps = fraction_at_least(records, 500.0);
+  s.offload = offload_fraction(records);
+  return s;
+}
+
+}  // namespace mifo::sim

@@ -1,0 +1,39 @@
+// Aggregation of simulation results into the figures' quantities.
+#pragma once
+
+#include <span>
+
+#include "common/stats.hpp"
+#include "sim/fluid_sim.hpp"
+
+namespace mifo::sim {
+
+/// Per-flow end-to-end throughput CDF over completed flows (Figs. 5/6 axes).
+[[nodiscard]] Cdf throughput_cdf(std::span<const FlowRecord> records);
+
+/// Fraction of delivered flows carried over alternative paths (Fig. 8).
+[[nodiscard]] double offload_fraction(std::span<const FlowRecord> records);
+
+/// Distribution of per-flow path-switch counts among flows that switched at
+/// least once (Fig. 9's population).
+[[nodiscard]] IntCounter switch_distribution(
+    std::span<const FlowRecord> records);
+
+/// Fraction of completed flows achieving at least `mbps` throughput (the
+/// paper's "X% of the flows can use at least 50% of the link capacity").
+[[nodiscard]] double fraction_at_least(std::span<const FlowRecord> records,
+                                       Mbps mbps);
+
+struct RunSummary {
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t unreachable = 0;
+  double mean_throughput = 0.0;
+  double median_throughput = 0.0;
+  double frac_at_500mbps = 0.0;
+  double offload = 0.0;
+};
+
+[[nodiscard]] RunSummary summarize(std::span<const FlowRecord> records);
+
+}  // namespace mifo::sim

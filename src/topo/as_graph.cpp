@@ -1,0 +1,113 @@
+#include "topo/as_graph.hpp"
+
+#include "common/contracts.hpp"
+
+namespace mifo::topo {
+
+void AsGraph::resize(std::size_t num_ases) {
+  MIFO_EXPECTS(num_ases >= adjacency_.size());
+  adjacency_.resize(num_ases);
+  info_.resize(num_ases);
+}
+
+bool AsGraph::add_provider_customer(AsId provider, AsId customer) {
+  MIFO_EXPECTS(provider.value() < num_ases());
+  MIFO_EXPECTS(customer.value() < num_ases());
+  MIFO_EXPECTS(provider != customer);
+  if (adjacent(provider, customer)) return false;
+  // From the provider's perspective the neighbor (customer) is a Customer.
+  add_adjacency(provider, customer, Rel::Customer);
+  ++pc_count_;
+  return true;
+}
+
+bool AsGraph::add_peering(AsId a, AsId b) {
+  MIFO_EXPECTS(a.value() < num_ases());
+  MIFO_EXPECTS(b.value() < num_ases());
+  MIFO_EXPECTS(a != b);
+  if (adjacent(a, b)) return false;
+  add_adjacency(a, b, Rel::Peer);
+  ++peer_count_;
+  return true;
+}
+
+void AsGraph::add_adjacency(AsId a, AsId b, Rel b_is_to_a) {
+  const auto link_ab = LinkId(static_cast<std::uint32_t>(directed_from_.size()));
+  directed_from_.push_back(a);
+  directed_to_.push_back(b);
+  const auto link_ba = LinkId(static_cast<std::uint32_t>(directed_from_.size()));
+  directed_from_.push_back(b);
+  directed_to_.push_back(a);
+
+  adjacency_[a.value()].push_back(Neighbor{b, b_is_to_a, link_ab});
+  adjacency_[b.value()].push_back(Neighbor{a, reverse(b_is_to_a), link_ba});
+  edge_index_.emplace(key(a, b), link_ab.value());
+  edge_index_.emplace(key(b, a), link_ba.value());
+}
+
+std::span<const Neighbor> AsGraph::neighbors(AsId as) const {
+  MIFO_EXPECTS(as.value() < num_ases());
+  return adjacency_[as.value()];
+}
+
+std::optional<Rel> AsGraph::rel(AsId a, AsId b) const {
+  const auto it = edge_index_.find(key(a, b));
+  if (it == edge_index_.end()) return std::nullopt;
+  // The link id indexes the adjacency entry only indirectly; scan is avoided
+  // by recovering the relationship from the directed link's endpoints.
+  for (const auto& n : adjacency_[a.value()]) {
+    if (n.as == b) return n.rel;
+  }
+  return std::nullopt;
+}
+
+LinkId AsGraph::link(AsId a, AsId b) const {
+  const auto it = edge_index_.find(key(a, b));
+  if (it == edge_index_.end()) return LinkId::invalid();
+  return LinkId(it->second);
+}
+
+AsId AsGraph::link_from(LinkId l) const {
+  MIFO_EXPECTS(l.value() < directed_from_.size());
+  return directed_from_[l.value()];
+}
+
+AsId AsGraph::link_to(LinkId l) const {
+  MIFO_EXPECTS(l.value() < directed_to_.size());
+  return directed_to_[l.value()];
+}
+
+LinkId AsGraph::twin(LinkId l) const {
+  MIFO_EXPECTS(l.value() < directed_from_.size());
+  return LinkId(l.value() ^ 1u);
+}
+
+std::size_t AsGraph::provider_count(AsId as) const {
+  std::size_t n = 0;
+  for (const auto& nb : neighbors(as)) n += (nb.rel == Rel::Provider) ? 1 : 0;
+  return n;
+}
+
+std::size_t AsGraph::peer_count(AsId as) const {
+  std::size_t n = 0;
+  for (const auto& nb : neighbors(as)) n += (nb.rel == Rel::Peer) ? 1 : 0;
+  return n;
+}
+
+std::size_t AsGraph::customer_count(AsId as) const {
+  std::size_t n = 0;
+  for (const auto& nb : neighbors(as)) n += (nb.rel == Rel::Customer) ? 1 : 0;
+  return n;
+}
+
+AsInfo& AsGraph::info(AsId as) {
+  MIFO_EXPECTS(as.value() < info_.size());
+  return info_[as.value()];
+}
+
+const AsInfo& AsGraph::info(AsId as) const {
+  MIFO_EXPECTS(as.value() < info_.size());
+  return info_[as.value()];
+}
+
+}  // namespace mifo::topo

@@ -1,0 +1,101 @@
+// The AS-level Internet graph: ASes, annotated adjacency, and the directed
+// inter-AS links the flow simulator allocates capacity on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topo/relationship.hpp"
+
+namespace mifo::topo {
+
+/// One adjacency entry of an AS.
+struct Neighbor {
+  AsId as;      ///< the neighboring AS
+  Rel rel;      ///< what the neighbor is *to the owning AS*
+  LinkId link;  ///< the directed link owner -> neighbor
+};
+
+/// Optional per-AS annotations produced by the generator.
+struct AsInfo {
+  std::uint8_t tier = 3;           ///< 1 = tier-1, 2 = transit, 3 = stub
+  bool content_provider = false;   ///< high-peering stub (Google/Facebook
+                                   ///< style, Section IV-B)
+};
+
+/// Immutable-after-build AS graph. Each undirected adjacency materialises two
+/// directed links (one per direction) so the simulator can congest each
+/// direction independently, as real inter-AS links do.
+class AsGraph {
+ public:
+  AsGraph() = default;
+  explicit AsGraph(std::size_t num_ases) { resize(num_ases); }
+
+  void resize(std::size_t num_ases);
+  [[nodiscard]] std::size_t num_ases() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_adjacencies() const {
+    return directed_from_.size() / 2;
+  }
+  [[nodiscard]] std::size_t num_directed_links() const {
+    return directed_from_.size();
+  }
+  [[nodiscard]] std::size_t num_pc_adjacencies() const { return pc_count_; }
+  [[nodiscard]] std::size_t num_peer_adjacencies() const {
+    return peer_count_;
+  }
+
+  /// Adds `provider` -> `customer` transit adjacency. Returns false (and
+  /// adds nothing) if the two ASes are already adjacent.
+  bool add_provider_customer(AsId provider, AsId customer);
+
+  /// Adds a settlement-free peering adjacency. Returns false if already
+  /// adjacent.
+  bool add_peering(AsId a, AsId b);
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(AsId as) const;
+
+  /// Relationship of `b` as seen from `a`; nullopt when not adjacent.
+  [[nodiscard]] std::optional<Rel> rel(AsId a, AsId b) const;
+
+  [[nodiscard]] bool adjacent(AsId a, AsId b) const {
+    return rel(a, b).has_value();
+  }
+
+  /// Directed link id for a -> b; invalid() when not adjacent.
+  [[nodiscard]] LinkId link(AsId a, AsId b) const;
+
+  [[nodiscard]] AsId link_from(LinkId l) const;
+  [[nodiscard]] AsId link_to(LinkId l) const;
+  /// The opposite-direction twin of a directed link.
+  [[nodiscard]] LinkId twin(LinkId l) const;
+
+  [[nodiscard]] std::size_t degree(AsId as) const {
+    return neighbors(as).size();
+  }
+  [[nodiscard]] std::size_t provider_count(AsId as) const;
+  [[nodiscard]] std::size_t peer_count(AsId as) const;
+  [[nodiscard]] std::size_t customer_count(AsId as) const;
+
+  [[nodiscard]] AsInfo& info(AsId as);
+  [[nodiscard]] const AsInfo& info(AsId as) const;
+
+ private:
+  [[nodiscard]] static std::uint64_t key(AsId a, AsId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+  void add_adjacency(AsId a, AsId b, Rel b_is_to_a);
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<AsInfo> info_;
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index_;  // a,b -> idx
+  std::vector<AsId> directed_from_;
+  std::vector<AsId> directed_to_;
+  std::size_t pc_count_ = 0;
+  std::size_t peer_count_ = 0;
+};
+
+}  // namespace mifo::topo

@@ -1,0 +1,44 @@
+// Synthetic Internet-like AS topology generator.
+//
+// Substitute for the UCLA IRL measured topology the paper evaluates on
+// (Table I: 44,340 ASes, 109,360 links, 69% provider/customer, 31% peering).
+// The generator reproduces the structural properties MIFO's results depend
+// on: a tier-1 peering clique, a transit hierarchy with preferential
+// attachment (power-law degrees), multihomed stubs, high-peering content
+// providers, an acyclic provider/customer hierarchy, and a configurable
+// P/C : peering mix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::topo {
+
+struct GeneratorParams {
+  std::size_t num_ases = 4000;
+  /// Size of the tier-1 clique (fully peered).
+  std::size_t num_tier1 = 12;
+  /// Fraction of non-tier-1 ASes that provide transit (tier 2).
+  double transit_fraction = 0.15;
+  /// Fraction of ASes that are high-peering content providers (stub ASes
+  /// with many peering links, modeling Google/Facebook, Section IV-B).
+  double content_provider_fraction = 0.005;
+  /// Peering links per content provider (scaled by available transit ASes).
+  std::size_t content_provider_peers = 30;
+  /// Target fraction of adjacencies that are peering (Table I: 0.314).
+  double peering_fraction = 0.314;
+  /// Multihoming distribution: probability of k providers is
+  /// multihoming_weights[k-1] (normalised internally).
+  std::array<double, 4> multihoming_weights{0.45, 0.35, 0.15, 0.05};
+  std::uint64_t seed = 1;
+};
+
+/// Generates a topology with the invariants documented above. The result is
+/// connected and its provider/customer digraph is acyclic by construction
+/// (providers are always drawn from earlier-created ASes).
+[[nodiscard]] AsGraph generate_topology(const GeneratorParams& params);
+
+}  // namespace mifo::topo

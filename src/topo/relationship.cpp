@@ -1,0 +1,14 @@
+#include "topo/relationship.hpp"
+
+namespace mifo::topo {
+
+bool is_valley_free(std::span<const StepDir> steps) {
+  // Admissible shape: Up* [Flat] Down*.
+  std::size_t i = 0;
+  while (i < steps.size() && steps[i] == StepDir::Up) ++i;
+  if (i < steps.size() && steps[i] == StepDir::Flat) ++i;
+  while (i < steps.size() && steps[i] == StepDir::Down) ++i;
+  return i == steps.size();
+}
+
+}  // namespace mifo::topo

@@ -1,0 +1,102 @@
+// Business relationships between adjacent ASes and the paper's data-plane
+// valley-free rule (Section III-A).
+//
+// Terminology: for AS u with neighbor v, `Rel` records what v *is to u* —
+// `Rel::Customer` means v is u's customer. This matches the paper's
+// isCustomer(V_up) in Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace mifo::topo {
+
+enum class Rel : std::uint8_t {
+  Customer,  ///< the neighbor pays us for transit (we are its provider)
+  Peer,      ///< settlement-free peering
+  Provider,  ///< we pay the neighbor for transit (we are its customer)
+};
+
+/// The relationship seen from the other side of the same link.
+[[nodiscard]] constexpr Rel reverse(Rel r) {
+  switch (r) {
+    case Rel::Customer:
+      return Rel::Provider;
+    case Rel::Provider:
+      return Rel::Customer;
+    case Rel::Peer:
+      return Rel::Peer;
+  }
+  return Rel::Peer;  // unreachable
+}
+
+[[nodiscard]] constexpr const char* to_string(Rel r) {
+  switch (r) {
+    case Rel::Customer:
+      return "customer";
+    case Rel::Peer:
+      return "peer";
+    case Rel::Provider:
+      return "provider";
+  }
+  return "?";
+}
+
+/// Direction of one forwarding step, classified by the relationship of the
+/// next hop as seen from the current AS.
+enum class StepDir : std::uint8_t {
+  Up,    ///< next hop is our provider  (v_i < v_{i+1})
+  Flat,  ///< next hop is a peer        (v_i = v_{i+1})
+  Down,  ///< next hop is our customer  (v_i > v_{i+1})
+};
+
+[[nodiscard]] constexpr StepDir step_dir(Rel next_hop_rel) {
+  switch (next_hop_rel) {
+    case Rel::Provider:
+      return StepDir::Up;
+    case Rel::Peer:
+      return StepDir::Flat;
+    case Rel::Customer:
+      return StepDir::Down;
+  }
+  return StepDir::Flat;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 3 — the data-plane valley-free transit rule.
+//
+//   v_i may transit a packet v_{i-1} -> v_i -> v_{i+1}  iff
+//   v_{i-1} < v_i  (the upstream neighbor is v_i's customer)   or
+//   v_i > v_{i+1}  (the downstream neighbor is v_i's customer).
+// ---------------------------------------------------------------------------
+
+/// The full two-relationship form of Eq. 3.
+[[nodiscard]] constexpr bool may_transit(Rel upstream, Rel downstream) {
+  return upstream == Rel::Customer || downstream == Rel::Customer;
+}
+
+// The "one more bit is enough" encoding (Section III-A4): the ingress border
+// router *tags* the bit; the egress border router *checks* it.
+
+/// Tag step: bit = 1 iff the upstream neighbor is a customer. Packets
+/// originated by the local AS carry bit 1 (no upstream constraint applies;
+/// the source may use any RIB route, like traffic received from a customer).
+[[nodiscard]] constexpr bool tag_bit(Rel upstream) {
+  return upstream == Rel::Customer;
+}
+
+/// Check step: deflection to `downstream` is permitted iff the tag is set or
+/// the downstream neighbor is a customer.
+[[nodiscard]] constexpr bool check_bit(bool tag, Rel downstream) {
+  return tag || downstream == Rel::Customer;
+}
+
+/// Classifies an AS-level path given the per-step directions; a path is
+/// valley-free iff after the first non-Up step every step is Down, with at
+/// most one Flat step. This is the control-plane notion (Gao & Rexford);
+/// paths admitted hop-by-hop by Eq. 3 are exactly these.
+[[nodiscard]] bool is_valley_free(std::span<const StepDir> steps);
+
+}  // namespace mifo::topo

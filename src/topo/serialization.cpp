@@ -1,0 +1,98 @@
+#include "topo/serialization.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace mifo::topo {
+
+void serialize(const AsGraph& g, std::ostream& os) {
+  os << "# mifo-topology v1\n";
+  os << "# nodes " << g.num_ases() << "\n";
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    const auto& info = g.info(as);
+    if (info.tier != 3) os << "# tier " << i << " " << int(info.tier) << "\n";
+    if (info.content_provider) os << "# cp " << i << "\n";
+  }
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    for (const auto& nb : g.neighbors(as)) {
+      if (nb.rel == Rel::Customer) {
+        os << i << " " << nb.as.value() << " p2c\n";
+      } else if (nb.rel == Rel::Peer && as < nb.as) {
+        os << i << " " << nb.as.value() << " peer\n";
+      }
+    }
+  }
+}
+
+std::string serialize_to_string(const AsGraph& g) {
+  std::ostringstream os;
+  serialize(g, os);
+  return os.str();
+}
+
+AsGraph parse(std::istream& is) {
+  AsGraph g;
+  std::string line;
+  std::size_t declared_nodes = 0;
+  struct PendingInfo {
+    std::uint32_t as;
+    int tier;
+    bool cp;
+  };
+  std::vector<PendingInfo> pending;
+  auto ensure = [&g](std::uint32_t as) {
+    if (as >= g.num_ases()) g.resize(as + 1);
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    if (line[0] == '#') {
+      std::string hash, word;
+      ls >> hash >> word;
+      if (word == "nodes") {
+        ls >> declared_nodes;
+        g.resize(std::max(declared_nodes, g.num_ases()));
+      } else if (word == "tier") {
+        std::uint32_t as = 0;
+        int tier = 3;
+        ls >> as >> tier;
+        pending.push_back({as, tier, false});
+      } else if (word == "cp") {
+        std::uint32_t as = 0;
+        ls >> as;
+        pending.push_back({as, -1, true});
+      }
+      continue;
+    }
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::string kind;
+    ls >> a >> b >> kind;
+    MIFO_EXPECTS(!ls.fail());
+    ensure(std::max(a, b));
+    if (kind == "p2c") {
+      g.add_provider_customer(AsId(a), AsId(b));
+    } else if (kind == "peer") {
+      g.add_peering(AsId(a), AsId(b));
+    } else {
+      MIFO_EXPECTS(false && "unknown link kind");
+    }
+  }
+  for (const auto& p : pending) {
+    ensure(p.as);
+    if (p.tier >= 0) g.info(AsId(p.as)).tier = static_cast<std::uint8_t>(p.tier);
+    if (p.cp) g.info(AsId(p.as)).content_provider = true;
+  }
+  return g;
+}
+
+AsGraph parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+}  // namespace mifo::topo

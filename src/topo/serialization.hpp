@@ -1,0 +1,22 @@
+// CAIDA-style text serialization of AS graphs:
+//   <as_a> <as_b> p2c    (a is b's provider)
+//   <as_a> <as_b> peer
+// plus optional "# tier <as> <tier>" / "# cp <as>" annotation comments.
+// Round-trips through parse(serialize(g)).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/as_graph.hpp"
+
+namespace mifo::topo {
+
+void serialize(const AsGraph& g, std::ostream& os);
+[[nodiscard]] std::string serialize_to_string(const AsGraph& g);
+
+/// Parses the format above. Aborts via contract on malformed input lines.
+[[nodiscard]] AsGraph parse(std::istream& is);
+[[nodiscard]] AsGraph parse_string(const std::string& text);
+
+}  // namespace mifo::topo

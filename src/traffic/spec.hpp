@@ -1,0 +1,15 @@
+// Flow specification shared by the traffic generators and the simulator.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mifo::traffic {
+
+struct FlowSpec {
+  AsId src;
+  AsId dst;
+  Bytes size = 10 * kMegaByte;  ///< paper: 10 MB flows
+  SimTime arrival = 0.0;        ///< Poisson arrivals, lambda = 100 flows/s
+};
+
+}  // namespace mifo::traffic

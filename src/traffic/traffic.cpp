@@ -1,0 +1,131 @@
+#include "traffic/traffic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace mifo::traffic {
+
+namespace {
+
+/// Poisson arrival times with the given rate, starting at t=0.
+std::vector<SimTime> poisson_arrivals(std::size_t n, double rate, Rng& rng) {
+  MIFO_EXPECTS(rate > 0.0);
+  std::vector<SimTime> times;
+  times.reserve(n);
+  SimTime t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(rate);
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<AsId> sample_dest_pool(const topo::AsGraph& g, std::size_t pool,
+                                   Rng& rng) {
+  std::vector<AsId> all(g.num_ases());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = AsId(static_cast<std::uint32_t>(i));
+  }
+  if (pool == 0 || pool >= all.size()) return all;
+  rng.shuffle(all);
+  all.resize(pool);
+  return all;
+}
+
+}  // namespace
+
+std::vector<FlowSpec> uniform_traffic(const topo::AsGraph& g,
+                                      const TrafficParams& p) {
+  MIFO_EXPECTS(g.num_ases() >= 2);
+  Rng rng(p.seed);
+  const auto dests = sample_dest_pool(g, p.dest_pool, rng);
+  const auto arrivals = poisson_arrivals(p.num_flows, p.arrival_rate, rng);
+
+  std::vector<FlowSpec> flows;
+  flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    const AsId dst = dests[rng.bounded(dests.size())];
+    AsId src;
+    do {
+      src = AsId(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
+    } while (src == dst);
+    flows.push_back(FlowSpec{src, dst, p.flow_size, arrivals[i]});
+  }
+  return flows;
+}
+
+std::vector<AsId> rank_by_connectivity(const topo::AsGraph& g) {
+  std::vector<AsId> ids(g.num_ases());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = AsId(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::size_t> score(g.num_ases());
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    score[i] = g.provider_count(as) + g.peer_count(as);
+  }
+  std::sort(ids.begin(), ids.end(), [&score](AsId a, AsId b) {
+    if (score[a.value()] != score[b.value()]) {
+      return score[a.value()] > score[b.value()];
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+std::vector<FlowSpec> power_law_traffic(const topo::AsGraph& g,
+                                        const PowerLawParams& p) {
+  MIFO_EXPECTS(g.num_ases() >= 2);
+  Rng rng(p.seed);
+  auto ranked = rank_by_connectivity(g);
+  std::size_t n_providers = p.num_providers == 0
+                                ? std::max<std::size_t>(1, ranked.size() / 4)
+                                : std::min(p.num_providers, ranked.size());
+  ranked.resize(n_providers);
+  const ZipfSampler zipf(n_providers, p.alpha);
+
+  // Consumers are stub ASes (the paper: "take stub ASes as traffic
+  // consumers").
+  std::vector<AsId> stubs;
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    if (g.info(as).tier == 3) stubs.push_back(as);
+  }
+  if (stubs.empty()) {
+    for (std::size_t i = 0; i < g.num_ases(); ++i) {
+      stubs.push_back(AsId(static_cast<std::uint32_t>(i)));
+    }
+  }
+
+  const auto arrivals = poisson_arrivals(p.num_flows, p.arrival_rate, rng);
+  std::vector<FlowSpec> flows;
+  flows.reserve(p.num_flows);
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    const AsId src = ranked[zipf.sample(rng) - 1];
+    AsId dst;
+    do {
+      dst = stubs[rng.bounded(stubs.size())];
+    } while (dst == src);
+    flows.push_back(FlowSpec{src, dst, p.flow_size, arrivals[i]});
+  }
+  return flows;
+}
+
+std::vector<bool> random_deployment(std::size_t num_ases, double ratio,
+                                    std::uint64_t seed) {
+  MIFO_EXPECTS(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<bool> deployed(num_ases, false);
+  if (ratio >= 1.0) {
+    std::fill(deployed.begin(), deployed.end(), true);
+    return deployed;
+  }
+  Rng rng(seed);
+  for (std::size_t i = 0; i < num_ases; ++i) {
+    deployed[i] = rng.bernoulli(ratio);
+  }
+  return deployed;
+}
+
+}  // namespace mifo::traffic

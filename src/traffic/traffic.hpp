@@ -1,0 +1,54 @@
+// Synthetic interdomain traffic matrices (Section IV): uniform random AS
+// pairs, and the power-law content-provider model where the probability of
+// consuming traffic from the i-th ranked provider is F(i) = a * i^-alpha and
+// providers are ranked by (#providers + #peers).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/as_graph.hpp"
+#include "traffic/spec.hpp"
+
+namespace mifo::traffic {
+
+struct TrafficParams {
+  std::size_t num_flows = 100000;
+  double arrival_rate = 100.0;  ///< flows per second (Poisson)
+  Bytes flow_size = 10 * kMegaByte;
+  std::uint64_t seed = 7;
+  /// Number of distinct destination ASes to draw from. The simulator caches
+  /// converged routes per destination, so a bounded pool keeps memory flat;
+  /// 0 = unbounded (any AS may be a destination).
+  std::size_t dest_pool = 512;
+};
+
+/// Uniform traffic: source and destination chosen uniformly among all ASes
+/// (src != dst), destinations restricted to a random pool of
+/// `params.dest_pool` ASes.
+[[nodiscard]] std::vector<FlowSpec> uniform_traffic(const topo::AsGraph& g,
+                                                    const TrafficParams& p);
+
+struct PowerLawParams : TrafficParams {
+  double alpha = 1.0;
+  /// Number of top-ranked ASes treated as content providers; 0 = derive
+  /// from the topology size (all ASes ranked).
+  std::size_t num_providers = 0;
+};
+
+/// Power-law traffic: flow sources are content providers sampled by Zipf
+/// rank over (#providers + #peers); destinations are uniform stub ASes.
+[[nodiscard]] std::vector<FlowSpec> power_law_traffic(const topo::AsGraph& g,
+                                                      const PowerLawParams& p);
+
+/// Content-provider ranking used by power_law_traffic: AS ids sorted by
+/// (#providers + #peers) descending, ties by lower id.
+[[nodiscard]] std::vector<AsId> rank_by_connectivity(const topo::AsGraph& g);
+
+/// Random deployment mask: each AS is MIFO/MIRO capable with probability
+/// `ratio` (deterministic under `seed`). Ratio 1.0 yields all-true.
+[[nodiscard]] std::vector<bool> random_deployment(std::size_t num_ases,
+                                                  double ratio,
+                                                  std::uint64_t seed);
+
+}  // namespace mifo::traffic

@@ -1,0 +1,126 @@
+#include "bgpd/speaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::bgpd {
+namespace {
+
+using topo::AsGraph;
+
+// 0 provides 1; 1 peers 2.
+AsGraph small() {
+  AsGraph g(3);
+  g.add_provider_customer(AsId(0), AsId(1));
+  g.add_peering(AsId(1), AsId(2));
+  return g;
+}
+
+TEST(Speaker, OriginateAnnouncesToAllNeighbors) {
+  const AsGraph g = small();
+  Speaker s(AsId(1), g);
+  const auto out = s.originate();
+  ASSERT_EQ(out.size(), 2u);  // provider 0 and peer 2
+  for (const auto& o : out) {
+    EXPECT_FALSE(o.msg.withdraw);
+    EXPECT_EQ(o.msg.dest, AsId(1));
+    EXPECT_EQ(o.msg.as_path, std::vector<AsId>{AsId(1)});
+  }
+  EXPECT_EQ(s.best(AsId(1)).cls, bgp::RouteClass::Self);
+}
+
+TEST(Speaker, ReceiveInstallsAndReExportsPerPolicy) {
+  const AsGraph g = small();
+  Speaker s(AsId(1), g);
+  // Peer 2 announces its own prefix.
+  UpdateMsg m;
+  m.dest = AsId(2);
+  m.as_path = {AsId(2)};
+  const auto out = s.receive(m, AsId(2));
+  // Peer routes are exported only to customers; AS1 has none, and AS0 is
+  // its provider -> nothing to send.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(s.best(AsId(2)).cls, bgp::RouteClass::Peer);
+  EXPECT_EQ(s.best_path(AsId(2)), (std::vector<AsId>{AsId(1), AsId(2)}));
+}
+
+TEST(Speaker, CustomerRouteReExportedEverywhere) {
+  const AsGraph g = small();
+  Speaker s(AsId(0), g);  // provider of 1
+  UpdateMsg m;
+  m.dest = AsId(1);
+  m.as_path = {AsId(1)};
+  const auto out = s.receive(m, AsId(1));
+  // Customer route: export to everyone — AS0's only neighbor is 1 itself.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, AsId(1));
+  EXPECT_EQ(out[0].msg.as_path,
+            (std::vector<AsId>{AsId(0), AsId(1)}));
+}
+
+TEST(Speaker, LoopingPathRejected) {
+  const AsGraph g = small();
+  Speaker s(AsId(1), g);
+  UpdateMsg m;
+  m.dest = AsId(9);  // some remote prefix
+  m.as_path = {AsId(2), AsId(1), AsId(9)};  // passes through ourselves!
+  const auto out = s.receive(m, AsId(2));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(s.loops_rejected, 1u);
+  EXPECT_FALSE(s.best(AsId(9)).valid());
+}
+
+TEST(Speaker, WithdrawRemovesRouteAndPropagates) {
+  const AsGraph g = small();
+  Speaker s(AsId(0), g);
+  UpdateMsg ann;
+  ann.dest = AsId(1);
+  ann.as_path = {AsId(1)};
+  (void)s.receive(ann, AsId(1));
+  ASSERT_TRUE(s.best(AsId(1)).valid());
+
+  UpdateMsg wd;
+  wd.dest = AsId(1);
+  wd.withdraw = true;
+  const auto out = s.receive(wd, AsId(1));
+  EXPECT_FALSE(s.best(AsId(1)).valid());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].msg.withdraw);
+}
+
+TEST(Speaker, BetterRouteReplacesAndWorseIsIgnored) {
+  // 1 has two providers 0 and 2 in a diamond towards 3.
+  AsGraph g(4);
+  g.add_provider_customer(AsId(0), AsId(1));
+  g.add_provider_customer(AsId(2), AsId(1));
+  g.add_provider_customer(AsId(0), AsId(3));
+  g.add_provider_customer(AsId(2), AsId(3));
+  Speaker s(AsId(1), g);
+  UpdateMsg via0;
+  via0.dest = AsId(3);
+  via0.as_path = {AsId(0), AsId(3)};
+  (void)s.receive(via0, AsId(0));
+  EXPECT_EQ(s.best(AsId(3)).next_hop, AsId(0));
+  // Equal-length offer from higher-id neighbor loses the tie-break.
+  UpdateMsg via2;
+  via2.dest = AsId(3);
+  via2.as_path = {AsId(2), AsId(3)};
+  const auto out = s.receive(via2, AsId(2));
+  EXPECT_EQ(s.best(AsId(3)).next_hop, AsId(0));
+  EXPECT_TRUE(out.empty());  // best unchanged -> silent
+  // Both alternatives visible in the Adj-RIB-In (MIFO's raw material).
+  EXPECT_EQ(s.rib_in(AsId(3)).size(), 2u);
+}
+
+TEST(Speaker, NoDuplicateAnnouncementForSamePath) {
+  const AsGraph g = small();
+  Speaker s(AsId(0), g);
+  UpdateMsg m;
+  m.dest = AsId(1);
+  m.as_path = {AsId(1)};
+  EXPECT_FALSE(s.receive(m, AsId(1)).empty());
+  // Identical re-announcement: decision unchanged, nothing re-sent.
+  EXPECT_TRUE(s.receive(m, AsId(1)).empty());
+}
+
+}  // namespace
+}  // namespace mifo::bgpd

@@ -1,0 +1,44 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mifo {
+namespace {
+
+TEST(Env, U64Fallback) {
+  ::unsetenv("MIFO_TEST_U64");
+  EXPECT_EQ(env_u64("MIFO_TEST_U64", 42), 42u);
+}
+
+TEST(Env, U64Parses) {
+  ::setenv("MIFO_TEST_U64", "1234", 1);
+  EXPECT_EQ(env_u64("MIFO_TEST_U64", 0), 1234u);
+  ::unsetenv("MIFO_TEST_U64");
+}
+
+TEST(Env, U64GarbageFallsBack) {
+  ::setenv("MIFO_TEST_U64", "12x", 1);
+  EXPECT_EQ(env_u64("MIFO_TEST_U64", 9), 9u);
+  ::setenv("MIFO_TEST_U64", "", 1);
+  EXPECT_EQ(env_u64("MIFO_TEST_U64", 9), 9u);
+  ::unsetenv("MIFO_TEST_U64");
+}
+
+TEST(Env, DoubleParses) {
+  ::setenv("MIFO_TEST_D", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("MIFO_TEST_D", 0.0), 0.75);
+  ::unsetenv("MIFO_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("MIFO_TEST_D", 0.5), 0.5);
+}
+
+TEST(Env, StringParses) {
+  ::setenv("MIFO_TEST_S", "hello", 1);
+  EXPECT_EQ(env_string("MIFO_TEST_S", "x"), "hello");
+  ::unsetenv("MIFO_TEST_S");
+  EXPECT_EQ(env_string("MIFO_TEST_S", "fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace mifo

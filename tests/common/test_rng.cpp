@@ -1,0 +1,169 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace mifo {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double rate = 100.0;
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.0002);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(copy.begin(), copy.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Hash64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should change roughly half the output bits.
+  const std::uint64_t base = hash64(0x1234567890abcdefull);
+  for (int bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t flipped = hash64(0x1234567890abcdefull ^ (1ull << bit));
+    const int popcount = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(popcount, 10);
+    EXPECT_LT(popcount, 54);
+  }
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= 100; ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOneIsMostLikely) {
+  const ZipfSampler zipf(1000, 1.2);
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(2));
+  EXPECT_GT(zipf.pmf(2), zipf.pmf(10));
+  EXPECT_GT(zipf.pmf(10), zipf.pmf(1000));
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(50, 0.0);
+  for (std::size_t i = 1; i <= 50; ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 1.0 / 50.0, 1e-9);
+  }
+}
+
+TEST(Zipf, SampleFrequenciesTrackPmf) {
+  const ZipfSampler zipf(10, 1.0);
+  Rng rng(31);
+  std::array<int, 11> counts{};
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t r = zipf.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 10u);
+    ++counts[r];
+  }
+  for (std::size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HigherAlphaConcentratesMass) {
+  const double alpha = GetParam();
+  const ZipfSampler zipf(1000, alpha);
+  const ZipfSampler flatter(1000, alpha / 2.0);
+  // Top-10 mass grows with alpha.
+  double top = 0.0;
+  double top_flat = 0.0;
+  for (std::size_t i = 1; i <= 10; ++i) {
+    top += zipf.pmf(i);
+    top_flat += flatter.pmf(i);
+  }
+  EXPECT_GT(top, top_flat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSkewTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace mifo

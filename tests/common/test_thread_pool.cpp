@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace mifo {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeRespectsRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  // Serial fallback preserves order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long> partial(10000);
+  parallel_for(pool, partial.size(), [&partial](std::size_t i) {
+    partial[i] = static_cast<long>(i) * 3;
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 3L * 9999L * 10000L / 2L);
+}
+
+TEST(GlobalPool, IsUsable) {
+  std::atomic<int> c{0};
+  parallel_for(global_pool(), 10, [&c](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 10);
+}
+
+}  // namespace
+}  // namespace mifo

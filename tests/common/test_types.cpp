@@ -1,0 +1,58 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace mifo {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  AsId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, AsId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  AsId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(AsId(1), AsId(2));
+  EXPECT_EQ(AsId(3), AsId(3));
+  EXPECT_NE(AsId(3), AsId(4));
+}
+
+TEST(StrongId, DistinctTagTypesDoNotMix) {
+  // Compile-time property: AsId and RouterId are unrelated types.
+  static_assert(!std::is_same_v<AsId, RouterId>);
+  static_assert(!std::is_convertible_v<AsId, RouterId>);
+  SUCCEED();
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<AsId> set;
+  set.insert(AsId(1));
+  set.insert(AsId(2));
+  set.insert(AsId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Units, ToMegabits) {
+  EXPECT_DOUBLE_EQ(to_megabits(1'000'000), 8.0);
+  EXPECT_DOUBLE_EQ(to_megabits(0), 0.0);
+}
+
+TEST(Units, TransferSeconds) {
+  // 1 MB at 8 Mbps takes 1 second.
+  EXPECT_DOUBLE_EQ(transfer_seconds(1'000'000, 8.0), 1.0);
+  // 10 MB flow at 1 Gbps: 80 ms — the paper's nominal best case.
+  EXPECT_NEAR(transfer_seconds(10 * kMegaByte, kGigabit), 0.08, 1e-12);
+  EXPECT_TRUE(std::isinf(transfer_seconds(1, 0.0)));
+}
+
+}  // namespace
+}  // namespace mifo

@@ -1,0 +1,98 @@
+#include "core/link_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::core {
+namespace {
+
+struct Fixture {
+  dp::Network net;
+  RouterId r0, r1;
+  PortId p01;
+
+  Fixture() {
+    r0 = net.add_router(AsId(0));
+    r1 = net.add_router(AsId(1));
+    p01 = net.connect_ebgp(r0, r1, topo::Rel::Peer).first;
+  }
+
+  void push_bytes(std::uint64_t n) {
+    // Account bytes directly on the port counter (the monitor only reads
+    // counters, not queues).
+    net.router(r0).port(p01).bytes_sent_total += n;
+  }
+};
+
+TEST(LinkMonitor, FirstSamplePrimesWithFullSpare) {
+  Fixture f;
+  LinkMonitor mon;
+  const auto m = mon.sample(f.net, f.r0, f.p01, 0.0);
+  EXPECT_DOUBLE_EQ(m.rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.spare, kGigabit);
+}
+
+TEST(LinkMonitor, RateFromByteDelta) {
+  Fixture f;
+  LinkMonitor mon;
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  // 12.5 MB in 0.1 s = 1 Gbps.
+  f.push_bytes(12'500'000);
+  const auto m = mon.sample(f.net, f.r0, f.p01, 0.1);
+  EXPECT_NEAR(m.rate, 1000.0, 1e-6);
+  EXPECT_NEAR(m.spare, 0.0, 1e-6);
+}
+
+TEST(LinkMonitor, HalfUtilizedLinkHasHalfSpare) {
+  Fixture f;
+  LinkMonitor mon;
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  f.push_bytes(6'250'000);  // 500 Mbps over 0.1 s
+  const auto m = mon.sample(f.net, f.r0, f.p01, 0.1);
+  EXPECT_NEAR(m.rate, 500.0, 1e-6);
+  EXPECT_NEAR(m.spare, 500.0, 1e-6);
+}
+
+TEST(LinkMonitor, SpareFlooredAtZero) {
+  Fixture f;
+  LinkMonitor mon;
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  f.push_bytes(50'000'000);  // 4 Gbps burst over 0.1 s window
+  const auto m = mon.sample(f.net, f.r0, f.p01, 0.1);
+  EXPECT_DOUBLE_EQ(m.spare, 0.0);
+}
+
+TEST(LinkMonitor, LastReturnsPreviousMeasurement) {
+  Fixture f;
+  LinkMonitor mon;
+  // Before any sample: full spare.
+  EXPECT_DOUBLE_EQ(mon.last(f.net, f.r0, f.p01).spare, kGigabit);
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  f.push_bytes(6'250'000);
+  mon.sample(f.net, f.r0, f.p01, 0.1);
+  EXPECT_NEAR(mon.last(f.net, f.r0, f.p01).rate, 500.0, 1e-6);
+}
+
+TEST(LinkMonitor, ZeroElapsedKeepsMeasurement) {
+  Fixture f;
+  LinkMonitor mon;
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  f.push_bytes(1000);
+  const auto m = mon.sample(f.net, f.r0, f.p01, 0.0);  // same instant
+  EXPECT_DOUBLE_EQ(m.rate, 0.0);
+}
+
+TEST(LinkMonitor, WindowsAreIndependentPerPort) {
+  Fixture f;
+  const PortId p2 = f.net.connect_ebgp(f.r0, f.net.add_router(AsId(2)),
+                                       topo::Rel::Peer)
+                        .first;
+  LinkMonitor mon;
+  mon.sample(f.net, f.r0, f.p01, 0.0);
+  mon.sample(f.net, f.r0, p2, 0.0);
+  f.push_bytes(6'250'000);  // only p01
+  EXPECT_NEAR(mon.sample(f.net, f.r0, f.p01, 0.1).rate, 500.0, 1e-6);
+  EXPECT_NEAR(mon.sample(f.net, f.r0, p2, 0.1).rate, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mifo::core

@@ -1,0 +1,119 @@
+// Failure-injection tests: downed links, blackholes and pathological FIBs.
+// The transport and forwarding engine must degrade gracefully (stall,
+// retry, recover) rather than wedge or crash.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/network.hpp"
+
+namespace mifo::dp {
+namespace {
+
+struct Chain {
+  Network net;
+  RouterId r0, r1;
+  HostId h1, h2;
+  PortId p01, p10;
+
+  Chain() {
+    r0 = net.add_router(AsId(0));
+    r1 = net.add_router(AsId(1));
+    h1 = net.add_host();
+    h2 = net.add_host();
+    const PortId ph1 = net.connect_host(r0, h1);
+    const PortId ph2 = net.connect_host(r1, h2);
+    std::tie(p01, p10) = net.connect_ebgp(r0, r1, topo::Rel::Peer);
+    net.router(r0).fib().set_route(net.host_addr(h2), p01);
+    net.router(r1).fib().set_route(net.host_addr(h2), ph2);
+    net.router(r1).fib().set_route(net.host_addr(h1), p10);
+    net.router(r0).fib().set_route(net.host_addr(h1), ph1);
+  }
+};
+
+TEST(FailureInjection, FlowSurvivesTransientLinkOutage) {
+  Chain c;
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = 2 * kMegaByte;
+  c.net.start_flow(fp);
+
+  // Let it ramp, then pull the cable for 100 ms.
+  c.net.run_until(0.004);
+  c.net.router(c.r0).port(c.p01).up = false;
+  c.net.run_until(0.104);
+  c.net.router(c.r0).port(c.p01).up = true;
+  c.net.run_to_completion(30.0);
+
+  const auto& f = c.net.flows()[0];
+  ASSERT_TRUE(f.done);
+  EXPECT_GT(f.retransmits, 0u);
+  EXPECT_GT(c.net.router(c.r0).port(c.p01).drops_down, 0u);
+  // The outage costs roughly its duration plus RTO recovery, not minutes.
+  EXPECT_LT(f.completion_time(), 1.0);
+}
+
+TEST(FailureInjection, ReverseAckPathOutageAlsoRecovers) {
+  Chain c;
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = kMegaByte;
+  c.net.start_flow(fp);
+  c.net.run_until(0.002);
+  c.net.router(c.r1).port(c.p10).up = false;  // kill the ACK direction
+  c.net.run_until(0.052);
+  c.net.router(c.r1).port(c.p10).up = true;
+  c.net.run_to_completion(30.0);
+  ASSERT_TRUE(c.net.flows()[0].done);
+}
+
+TEST(FailureInjection, PermanentBlackholeNeverCompletesButNeverWedges) {
+  Chain c;
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = kMegaByte;
+  c.net.start_flow(fp);
+  c.net.run_until(0.002);
+  c.net.router(c.r0).port(c.p01).up = false;
+  // Run far: the sender must keep backing off on its timer without the
+  // event loop exploding.
+  c.net.run_until(5.0);
+  EXPECT_FALSE(c.net.flows()[0].done);
+  EXPECT_GT(c.net.router(c.r0).port(c.p01).drops_down, 0u);
+}
+
+TEST(FailureInjection, MisconfiguredAltPortToHostLinkIsHarmless) {
+  // A buggy daemon programs the alt port at the destination's access link;
+  // the engine treats Host-kind defaults as non-deflectable.
+  Chain c;
+  c.net.router(c.r1).config().mifo_enabled = true;
+  const Addr dst = c.net.host_addr(c.h2);
+  const auto fe = c.net.router(c.r1).fib().lookup(dst);
+  ASSERT_TRUE(fe.has_value());
+  c.net.router(c.r1).fib().set_alt(dst, c.p10);  // nonsense alternative
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = 200 * 1000;
+  c.net.start_flow(fp);
+  c.net.run_to_completion(30.0);
+  EXPECT_TRUE(c.net.flows()[0].done);
+}
+
+TEST(FailureInjection, ZeroByteQueueDropsEverything) {
+  Chain c;
+  c.net.router(c.r0).port(c.p01).queue_capacity_bytes = 0;
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = 100 * 1000;
+  c.net.start_flow(fp);
+  c.net.run_until(1.0);
+  EXPECT_FALSE(c.net.flows()[0].done);
+  EXPECT_GT(c.net.router(c.r0).port(c.p01).drops_overflow, 0u);
+}
+
+}  // namespace
+}  // namespace mifo::dp

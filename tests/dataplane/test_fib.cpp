@@ -1,0 +1,70 @@
+#include "dataplane/fib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::dp {
+namespace {
+
+TEST(Fib, LookupMissReturnsNullopt) {
+  Fib fib;
+  EXPECT_FALSE(fib.lookup(42).has_value());
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Fib, SetAndLookupRoute) {
+  Fib fib;
+  fib.set_route(42, PortId(3));
+  const auto e = fib.lookup(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->out_port, PortId(3));
+  EXPECT_FALSE(e->alt_port.valid());
+}
+
+TEST(Fib, SetRouteOverwritesDefaultKeepsAlt) {
+  Fib fib;
+  fib.set_route(42, PortId(3));
+  fib.set_alt(42, PortId(7));
+  fib.set_route(42, PortId(4));
+  const auto e = fib.lookup(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->out_port, PortId(4));
+  EXPECT_EQ(e->alt_port, PortId(7));
+  EXPECT_EQ(fib.size(), 1u);
+}
+
+TEST(Fib, AltPortLifecycle) {
+  Fib fib;
+  fib.set_route(7, PortId(0));
+  fib.set_alt(7, PortId(1));
+  EXPECT_EQ(fib.lookup(7)->alt_port, PortId(1));
+  fib.set_alt(7, PortId(2));  // the daemon re-elects
+  EXPECT_EQ(fib.lookup(7)->alt_port, PortId(2));
+  fib.clear_alt(7);
+  EXPECT_FALSE(fib.lookup(7)->alt_port.valid());
+}
+
+TEST(Fib, ClearAltOnMissingEntryIsNoop) {
+  Fib fib;
+  fib.clear_alt(99);  // must not crash
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(FibDeathTest, SetAltRequiresRoute) {
+  Fib fib;
+  EXPECT_DEATH(fib.set_alt(5, PortId(1)), "Precondition");
+}
+
+TEST(Fib, IterationCoversEntries) {
+  Fib fib;
+  fib.set_route(1, PortId(0));
+  fib.set_route(2, PortId(1));
+  std::size_t n = 0;
+  for (const auto& [addr, entry] : fib) {
+    EXPECT_TRUE(addr == 1 || addr == 2);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+}  // namespace
+}  // namespace mifo::dp

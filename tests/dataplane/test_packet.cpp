@@ -1,0 +1,65 @@
+#include "dataplane/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::dp {
+namespace {
+
+TEST(Packet, DefaultsAreSane) {
+  Packet p;
+  EXPECT_FALSE(p.encapsulated);
+  EXPECT_FALSE(p.mifo_tag);
+  EXPECT_EQ(p.ttl, 64);
+  EXPECT_EQ(p.kind, PacketKind::Data);
+}
+
+TEST(Packet, EncapSetsOuterHeader) {
+  Packet p;
+  p.size_bytes = 1000;
+  encap(p, 10, 20);
+  EXPECT_TRUE(p.encapsulated);
+  EXPECT_EQ(p.outer_src, 10u);
+  EXPECT_EQ(p.outer_dst, 20u);
+  // IP-in-IP adds 20 bytes on the wire.
+  EXPECT_EQ(p.wire_bytes(), 1020u);
+}
+
+TEST(Packet, DecapRecoversSenderAndInnerPacket) {
+  Packet p;
+  p.size_bytes = 500;
+  p.src = 1;
+  p.dst = 2;
+  encap(p, 10, 20);
+  const Addr sender = decap(p);
+  EXPECT_EQ(sender, 10u);
+  EXPECT_FALSE(p.encapsulated);
+  EXPECT_EQ(p.outer_src, kInvalidAddr);
+  EXPECT_EQ(p.outer_dst, kInvalidAddr);
+  // The inner header is untouched.
+  EXPECT_EQ(p.src, 1u);
+  EXPECT_EQ(p.dst, 2u);
+  EXPECT_EQ(p.wire_bytes(), 500u);
+}
+
+TEST(Packet, EncapDecapRoundTripPreservesTag) {
+  Packet p;
+  p.mifo_tag = true;
+  p.size_bytes = 100;
+  encap(p, 3, 4);
+  decap(p);
+  EXPECT_TRUE(p.mifo_tag);
+}
+
+TEST(PacketDeathTest, DoubleEncapAborts) {
+  Packet p;
+  encap(p, 1, 2);
+  EXPECT_DEATH(encap(p, 3, 4), "Precondition");
+}
+
+TEST(PacketDeathTest, DecapWithoutOuterAborts) {
+  Packet p;
+  EXPECT_DEATH(decap(p), "Precondition");
+}
+
+}  // namespace
+}  // namespace mifo::dp

@@ -1,0 +1,155 @@
+// AIMD transport behaviour on controlled topologies.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/network.hpp"
+
+namespace mifo::dp {
+namespace {
+
+/// h1 -- r0 -- r1 -- h2 chain with configurable middle-link rate.
+struct Chain {
+  Network net;
+  RouterId r0, r1;
+  HostId h1, h2;
+
+  explicit Chain(Mbps middle_rate = kGigabit) {
+    r0 = net.add_router(AsId(0));
+    r1 = net.add_router(AsId(1));
+    h1 = net.add_host();
+    h2 = net.add_host();
+    const PortId p1 = net.connect_host(r0, h1);
+    const PortId p2 = net.connect_host(r1, h2);
+    const auto [p01, p10] =
+        net.connect_ebgp(r0, r1, topo::Rel::Peer, middle_rate);
+    net.router(r0).fib().set_route(net.host_addr(h2), p01);
+    net.router(r1).fib().set_route(net.host_addr(h2), p2);
+    net.router(r1).fib().set_route(net.host_addr(h1), p10);
+    net.router(r0).fib().set_route(net.host_addr(h1), p1);
+  }
+
+  FlowId flow(Bytes size, SimTime start = 0.0) {
+    FlowParams fp;
+    fp.src = h1;
+    fp.dst = h2;
+    fp.size = size;
+    fp.start = start;
+    return net.start_flow(fp);
+  }
+};
+
+TEST(Transport, SingleFlowCompletesNearLineRate) {
+  Chain c;
+  c.flow(10 * kMegaByte);
+  c.net.run_to_completion(30.0);
+  const auto& f = c.net.flows()[0];
+  ASSERT_TRUE(f.done);
+  // Loss-free gigabit path: at least 80% of line rate end to end.
+  EXPECT_GT(f.achieved_mbps(), 800.0);
+  EXPECT_LT(f.achieved_mbps(), 1001.0);
+}
+
+TEST(Transport, ThroughputTracksBottleneck) {
+  Chain c(100.0);  // 100 Mbps middle link
+  c.flow(2 * kMegaByte);
+  c.net.run_to_completion(30.0);
+  const auto& f = c.net.flows()[0];
+  ASSERT_TRUE(f.done);
+  EXPECT_GT(f.achieved_mbps(), 60.0);
+  EXPECT_LT(f.achieved_mbps(), 101.0);
+}
+
+TEST(Transport, TwoFlowsShareBottleneckRoughlyFairly) {
+  Chain c;
+  const HostId h3 = c.net.add_host();
+  const HostId h4 = c.net.add_host();
+  const PortId p3 = c.net.connect_host(c.r0, h3);
+  const PortId p4 = c.net.connect_host(c.r1, h4);
+  const PortId to_r1 = c.net.router(c.r0).fib().lookup(
+      c.net.host_addr(c.h2))->out_port;
+  c.net.router(c.r0).fib().set_route(c.net.host_addr(h4), to_r1);
+  c.net.router(c.r1).fib().set_route(c.net.host_addr(h4), p4);
+  const PortId to_r0 = c.net.router(c.r1).fib().lookup(
+      c.net.host_addr(c.h1))->out_port;
+  c.net.router(c.r1).fib().set_route(c.net.host_addr(h3), to_r0);
+  c.net.router(c.r0).fib().set_route(c.net.host_addr(h3), p3);
+
+  c.flow(10 * kMegaByte);
+  FlowParams fp;
+  fp.src = h3;
+  fp.dst = h4;
+  fp.size = 10 * kMegaByte;
+  c.net.start_flow(fp);
+  c.net.run_to_completion(30.0);
+
+  const auto& f0 = c.net.flows()[0];
+  const auto& f1 = c.net.flows()[1];
+  ASSERT_TRUE(f0.done);
+  ASSERT_TRUE(f1.done);
+  const double sum = f0.achieved_mbps() + f1.achieved_mbps();
+  // Sharing a 1 Gbps bottleneck: aggregate near capacity, neither starved.
+  // (Per-flow averages can sum above link rate when one flow finishes first
+  // and the other expands into the freed capacity.)
+  EXPECT_GT(sum, 700.0);
+  EXPECT_LT(sum, 1300.0);
+  EXPECT_GT(f0.achieved_mbps(), 150.0);
+  EXPECT_GT(f1.achieved_mbps(), 150.0);
+}
+
+TEST(Transport, RecoversFromHeavyLossViaRetransmission) {
+  // A tiny bottleneck queue forces drops; the flow must still finish and
+  // the sender must record retransmissions.
+  Chain c(50.0);
+  c.net.router(c.r0).port(PortId(1)).queue_capacity_bytes = 5 * 1000;
+  c.flow(1 * kMegaByte);
+  c.net.run_to_completion(60.0);
+  const auto& f = c.net.flows()[0];
+  ASSERT_TRUE(f.done);
+  EXPECT_GT(f.retransmits, 0u);
+}
+
+TEST(Transport, SequentialFlowsViaCompletionCallback) {
+  Chain c;
+  int started = 0;
+  c.net.set_flow_complete_callback([&](Network& net, FlowState& f) {
+    if (started < 3) {
+      ++started;
+      FlowParams fp;
+      fp.src = f.params.src;
+      fp.dst = f.params.dst;
+      fp.size = f.params.size;
+      fp.start = net.now();
+      net.start_flow(fp);
+    }
+  });
+  c.flow(1 * kMegaByte);
+  c.net.run_to_completion(60.0);
+  ASSERT_EQ(c.net.flows().size(), 4u);
+  for (const auto& f : c.net.flows()) EXPECT_TRUE(f.done);
+  // Back-to-back: each starts when the previous one ends.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GE(c.net.flows()[i].start_time, c.net.flows()[i - 1].end_time);
+  }
+}
+
+TEST(Transport, CompletionTimeAccountsForStart) {
+  Chain c;
+  c.flow(1 * kMegaByte, 5.0);
+  c.net.run_to_completion(60.0);
+  const auto& f = c.net.flows()[0];
+  ASSERT_TRUE(f.done);
+  EXPECT_GE(f.start_time, 5.0);
+  EXPECT_LT(f.completion_time(), 1.0);
+}
+
+TEST(Transport, SlowStartThenCongestionAvoidance) {
+  Chain c;
+  c.flow(10 * kMegaByte);
+  c.net.run_to_completion(30.0);
+  const auto& f = c.net.flows()[0];
+  // After completion the window grew beyond its initial value.
+  EXPECT_GT(f.cwnd, 4.0);
+}
+
+}  // namespace
+}  // namespace mifo::dp

@@ -1,0 +1,130 @@
+// Property tests of the emulation builder on random topologies: whatever
+// the expansion mask, the built network must route every host prefix from
+// every router, keep intra meshes consistent, and deliver end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testbed/emulation.hpp"
+#include "topo/generator.hpp"
+
+namespace mifo::testbed {
+namespace {
+
+class EmulationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmulationProperty, BuiltNetworkIsFullyRouted) {
+  const std::uint64_t seed = GetParam();
+  topo::GeneratorParams gp;
+  gp.num_ases = 40;
+  gp.num_tier1 = 3;
+  gp.seed = seed;
+  const auto g = topo::generate_topology(gp);
+
+  Rng rng(seed * 17 + 3);
+  std::vector<bool> expand(g.num_ases());
+  for (std::size_t i = 0; i < expand.size(); ++i) {
+    expand[i] = rng.bernoulli(0.4);
+  }
+
+  EmulationBuilder builder(g, expand);
+  std::vector<HostId> hosts;
+  for (int h = 0; h < 4; ++h) {
+    hosts.push_back(builder.attach_host(
+        AsId(static_cast<std::uint32_t>(rng.bounded(g.num_ases())))));
+  }
+  Emulation em = builder.finalize();
+
+  // Router count: expanded ASes contribute degree, collapsed contribute 1.
+  std::size_t expected_routers = 0;
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    expected_routers +=
+        expand[i] ? std::max<std::size_t>(1, g.degree(AsId(i))) : 1;
+  }
+  EXPECT_EQ(em.net->num_routers(), expected_routers);
+
+  // Every router holds a route for every host prefix (connected topology).
+  for (const auto& att : em.hosts) {
+    for (std::uint32_t r = 0; r < em.net->num_routers(); ++r) {
+      EXPECT_TRUE(em.net->router(RouterId(r)).fib().lookup(att.addr))
+          << "router " << r << " host addr " << att.addr;
+    }
+  }
+
+  // Wiring invariants: each egress port really is an eBGP port on a router
+  // of that AS; intra ports connect routers of the same AS.
+  for (const auto& w : em.wirings) {
+    for (const auto& e : w.egresses) {
+      const auto& port = em.net->router(e.router).port(e.port);
+      EXPECT_EQ(port.kind, dp::PortKind::Ebgp);
+      EXPECT_EQ(port.neighbor_as, e.neighbor);
+      EXPECT_EQ(em.net->router(e.router).as(), w.as);
+    }
+    for (const auto& ip : w.intra) {
+      EXPECT_EQ(em.net->router(ip.from).as(), w.as);
+      EXPECT_EQ(em.net->router(ip.to).as(), w.as);
+      EXPECT_EQ(em.net->router(ip.from).port(ip.port).kind,
+                dp::PortKind::Ibgp);
+    }
+  }
+
+  // End-to-end: a flow between the first two hosts completes.
+  if (em.hosts.size() >= 2 && em.hosts[0].as != em.hosts[1].as) {
+    dp::FlowParams fp;
+    fp.src = em.hosts[0].host;
+    fp.dst = em.hosts[1].host;
+    fp.size = 200 * 1000;
+    em.net->start_flow(fp);
+    em.net->run_to_completion(30.0);
+    EXPECT_TRUE(em.net->flows()[0].done);
+  }
+}
+
+TEST_P(EmulationProperty, MifoEnabledRunStaysLoopFree) {
+  const std::uint64_t seed = GetParam();
+  topo::GeneratorParams gp;
+  gp.num_ases = 30;
+  gp.num_tier1 = 3;
+  gp.seed = seed + 100;
+  const auto g = topo::generate_topology(gp);
+  std::vector<bool> expand(g.num_ases(), false);
+  // Expand the tier-1s, as the paper does.
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    expand[i] = g.info(AsId(i)).tier == 1;
+  }
+  EmulationBuilder builder(g, expand);
+  Rng rng(seed);
+  std::vector<HostId> hosts;
+  for (int h = 0; h < 4; ++h) {
+    hosts.push_back(builder.attach_host(
+        AsId(static_cast<std::uint32_t>(rng.bounded(g.num_ases())))));
+  }
+  Emulation em = builder.finalize();
+  // Enable MIFO everywhere.
+  std::vector<AsId> all_ases;
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    all_ases.push_back(AsId(i));
+  }
+  em.enable_mifo(all_ases, dp::RouterConfig{});
+
+  for (std::size_t i = 0; i + 1 < hosts.size(); i += 2) {
+    dp::FlowParams fp;
+    fp.src = hosts[i];
+    fp.dst = hosts[i + 1];
+    fp.size = 500 * 1000;
+    em.net->start_flow(fp);
+  }
+  em.net->run_to_completion(60.0);
+
+  const auto total = em.net->total_counters();
+  EXPECT_EQ(total.ttl_drops, 0u) << "data-plane loop detected";
+  for (const auto& f : em.net->flows()) {
+    EXPECT_TRUE(f.done);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmulationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace mifo::testbed

@@ -1,0 +1,137 @@
+// Cross-module end-to-end properties on generated topologies: the ordering
+// MIFO > MIRO > BGP that the paper's evaluation section reports, offload
+// monotonicity in deployment, and path-diversity dominance.
+
+#include <gtest/gtest.h>
+
+#include "bgp/path_count.hpp"
+#include "miro/miro.hpp"
+#include "sim/fluid_sim.hpp"
+#include "sim/metrics.hpp"
+#include "topo/analysis.hpp"
+#include "topo/generator.hpp"
+#include "traffic/traffic.hpp"
+
+namespace mifo {
+namespace {
+
+struct Workload {
+  topo::AsGraph g;
+  std::vector<traffic::FlowSpec> specs;
+};
+
+Workload congested_workload(std::size_t ases, std::size_t flows,
+                            std::uint64_t seed) {
+  topo::GeneratorParams gp;
+  gp.num_ases = ases;
+  gp.seed = seed;
+  Workload w{topo::generate_topology(gp), {}};
+  traffic::TrafficParams tp;
+  tp.num_flows = flows;
+  tp.dest_pool = 12;  // concentrate destinations -> real congestion
+  tp.arrival_rate = 200.0;
+  tp.seed = seed * 3 + 1;
+  w.specs = traffic::uniform_traffic(w.g, tp);
+  return w;
+}
+
+sim::RunSummary run_mode(const Workload& w, sim::RoutingMode mode,
+                         double deploy_ratio) {
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  sim::FluidSim sim(w.g, cfg);
+  sim.set_deployment(
+      traffic::random_deployment(w.g.num_ases(), deploy_ratio, 77));
+  return sim::summarize(sim.run(w.specs));
+}
+
+TEST(EndToEnd, MifoBeatsBgpUnderCongestion) {
+  const Workload w = congested_workload(400, 4000, 5);
+  const auto bgp = run_mode(w, sim::RoutingMode::Bgp, 0.0);
+  const auto mifo = run_mode(w, sim::RoutingMode::Mifo, 1.0);
+  EXPECT_GT(mifo.mean_throughput, 1.10 * bgp.mean_throughput);
+  EXPECT_GT(mifo.frac_at_500mbps, bgp.frac_at_500mbps);
+  EXPECT_GT(mifo.offload, 0.05);
+  EXPECT_DOUBLE_EQ(bgp.offload, 0.0);
+}
+
+TEST(EndToEnd, MifoAtLeastMatchesMiroAtEqualDeployment) {
+  const Workload w = congested_workload(400, 4000, 9);
+  const auto miro = run_mode(w, sim::RoutingMode::Miro, 0.5);
+  const auto mifo = run_mode(w, sim::RoutingMode::Mifo, 0.5);
+  EXPECT_GE(mifo.mean_throughput, 0.98 * miro.mean_throughput);
+  // MIFO reroutes hop-by-hop, MIRO only at the source: more offload.
+  EXPECT_GE(mifo.offload, miro.offload);
+}
+
+TEST(EndToEnd, OffloadGrowsWithDeployment) {
+  const Workload w = congested_workload(300, 3000, 11);
+  double prev = -1.0;
+  for (const double ratio : {0.1, 0.5, 1.0}) {
+    const auto s = run_mode(w, sim::RoutingMode::Mifo, ratio);
+    EXPECT_GE(s.offload, prev - 0.02) << "ratio " << ratio;
+    prev = s.offload;
+  }
+}
+
+TEST(EndToEnd, PathDiversityMifoDominatesMiroEverywhere) {
+  topo::GeneratorParams gp;
+  gp.num_ases = 400;
+  gp.seed = 13;
+  const auto g = topo::generate_topology(gp);
+  const auto order = topo::pc_topological_order(g);
+  const std::vector<bool> all(g.num_ases(), true);
+  const std::vector<bool> half =
+      traffic::random_deployment(g.num_ases(), 0.5, 5);
+
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    const auto routes = bgp::compute_routes(g, AsId(d));
+    const auto full = bgp::count_mifo_paths(g, routes, order, all);
+    const auto part = bgp::count_mifo_paths(g, routes, order, half);
+    for (std::uint32_t s = 0; s < g.num_ases(); s += 17) {
+      if (s == d || !routes.best(AsId(s)).valid()) continue;
+      const double miro_paths = static_cast<double>(
+          miro::path_count(g, routes, AsId(s), all));
+      // MIFO with full deployment >= MIRO fully deployed, and
+      // >= partial MIFO >= 1.
+      EXPECT_GE(full.paths_from(AsId(s)), miro_paths);
+      EXPECT_GE(full.paths_from(AsId(s)), part.paths_from(AsId(s)));
+      EXPECT_GE(part.paths_from(AsId(s)), 1.0);
+    }
+  }
+}
+
+TEST(EndToEnd, StabilityMostSwitchingFlowsSwitchOnce) {
+  const Workload w = congested_workload(400, 5000, 23);
+  sim::SimConfig cfg;
+  cfg.mode = sim::RoutingMode::Mifo;
+  sim::FluidSim fsim(w.g, cfg);
+  fsim.set_deployment(std::vector<bool>(w.g.num_ases(), true));
+  const auto rec = fsim.run(w.specs);
+  const auto dist = sim::switch_distribution(rec);
+  if (dist.total() >= 50) {
+    // Paper Fig. 9: 67.7% switch once, 97.5% at most twice.
+    EXPECT_GT(dist.fraction_of(1), 0.5);
+    EXPECT_GT(dist.fraction_at_most(3), 0.85);
+  }
+}
+
+TEST(EndToEnd, PowerLawSkewHurtsBgpMoreThanMifo) {
+  topo::GeneratorParams gp;
+  gp.num_ases = 400;
+  gp.seed = 31;
+  const auto g = topo::generate_topology(gp);
+  traffic::PowerLawParams tp;
+  tp.num_flows = 4000;
+  tp.alpha = 1.2;
+  tp.arrival_rate = 200.0;
+  tp.dest_pool = 0;
+  const auto specs = traffic::power_law_traffic(g, tp);
+  Workload w{g, specs};
+  const auto bgp = run_mode(w, sim::RoutingMode::Bgp, 0.0);
+  const auto mifo = run_mode(w, sim::RoutingMode::Mifo, 0.5);
+  EXPECT_GT(mifo.mean_throughput, bgp.mean_throughput);
+}
+
+}  // namespace
+}  // namespace mifo

@@ -1,0 +1,127 @@
+#include "sim/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mifo::sim {
+namespace {
+
+std::vector<double> solve(std::vector<std::vector<std::uint32_t>> paths,
+                          std::vector<double> caps, double flow_cap = 0.0) {
+  MaxMinInput in;
+  in.flow_links = paths;
+  in.link_capacity = caps;
+  in.flow_cap = flow_cap;
+  return max_min_rates(in);
+}
+
+TEST(MaxMin, SingleFlowGetsFullLink) {
+  const auto r = solve({{0}}, {1000.0});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 1000.0, 1e-6);
+}
+
+TEST(MaxMin, EqualSplitOnSharedLink) {
+  const auto r = solve({{0}, {0}, {0}, {0}}, {1000.0});
+  for (const double x : r) EXPECT_NEAR(x, 250.0, 1e-6);
+}
+
+TEST(MaxMin, ClassicTwoBottleneckExample) {
+  // Flow A uses links 0 and 1; flow B uses link 0; flow C uses link 1.
+  // cap(0)=1, cap(1)=10: A and B split link 0 at 0.5; C then gets 9.5.
+  const auto r = solve({{0, 1}, {0}, {1}}, {1.0, 10.0});
+  EXPECT_NEAR(r[0], 0.5, 1e-6);
+  EXPECT_NEAR(r[1], 0.5, 1e-6);
+  EXPECT_NEAR(r[2], 9.5, 1e-6);
+}
+
+TEST(MaxMin, FlowCapBindsBeforeLinks) {
+  const auto r = solve({{0}, {0}}, {1000.0}, 100.0);
+  EXPECT_NEAR(r[0], 100.0, 1e-6);
+  EXPECT_NEAR(r[1], 100.0, 1e-6);
+}
+
+TEST(MaxMin, EmptyPathGetsFlowCap) {
+  const auto r = solve({{}}, {}, 1000.0);
+  EXPECT_DOUBLE_EQ(r[0], 1000.0);
+}
+
+TEST(MaxMin, NoFlows) { EXPECT_TRUE(solve({}, {1.0}).empty()); }
+
+TEST(MaxMin, DuplicateLinkInPathChargedOnce) {
+  // Defensive behaviour: a repeated link id must not double-charge.
+  const auto r = solve({{0, 0}}, {1000.0});
+  EXPECT_NEAR(r[0], 1000.0, 1e-6);
+}
+
+// Property tests on random instances.
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibleAndBottleneckJustified) {
+  Rng rng(GetParam());
+  const std::size_t nl = 30;
+  const std::size_t nf = 120;
+  std::vector<double> caps(nl);
+  for (auto& c : caps) c = rng.uniform(100.0, 1000.0);
+  std::vector<std::vector<std::uint32_t>> paths(nf);
+  for (auto& p : paths) {
+    const std::size_t hops = 1 + rng.bounded(4);
+    std::set<std::uint32_t> links;
+    while (links.size() < hops) {
+      links.insert(static_cast<std::uint32_t>(rng.bounded(nl)));
+    }
+    p.assign(links.begin(), links.end());
+  }
+  MaxMinInput in;
+  in.flow_links = paths;
+  in.link_capacity = caps;
+  in.flow_cap = 1000.0;
+  const auto rates = max_min_rates(in);
+
+  // (1) Feasibility: no link over capacity.
+  std::vector<double> load(nl, 0.0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    EXPECT_LE(rates[f], 1000.0 + 1e-6);
+    for (const auto l : paths[f]) load[l] += rates[f];
+  }
+  for (std::size_t l = 0; l < nl; ++l) {
+    EXPECT_LE(load[l], caps[l] + 1e-4) << "link " << l;
+  }
+  // (2) Max-min witness: every flow is either at the flow cap or crosses a
+  // link that is saturated and on which it has a maximal rate.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (rates[f] >= 1000.0 - 1e-6) continue;
+    bool witnessed = false;
+    for (const auto l : paths[f]) {
+      if (load[l] >= caps[l] - 1e-3) {
+        bool is_max = true;
+        for (std::size_t g2 = 0; g2 < nf; ++g2) {
+          if (std::find(paths[g2].begin(), paths[g2].end(), l) ==
+              paths[g2].end()) {
+            continue;
+          }
+          if (rates[g2] > rates[f] + 1e-6) {
+            is_max = false;
+            break;
+          }
+        }
+        if (is_max) {
+          witnessed = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(witnessed) << "flow " << f << " rate " << rates[f];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mifo::sim

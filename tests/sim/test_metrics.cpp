@@ -1,0 +1,88 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::sim {
+namespace {
+
+FlowRecord record(double mbps, bool completed = true, bool alt = false,
+                  std::uint32_t switches = 0) {
+  FlowRecord r;
+  r.spec.src = AsId(0);
+  r.spec.dst = AsId(1);
+  r.spec.size = 10 * kMegaByte;
+  r.spec.arrival = 0.0;
+  r.completed = completed;
+  if (completed) {
+    r.finish = to_megabits(r.spec.size) / mbps;  // arrival = 0
+  }
+  r.used_alternative = alt;
+  r.path_switches = switches;
+  return r;
+}
+
+TEST(Metrics, ThroughputComputedFromRecord) {
+  const auto r = record(400.0);
+  EXPECT_NEAR(r.throughput(), 400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(record(100.0, false).throughput(), 0.0);
+}
+
+TEST(Metrics, ThroughputCdfSkipsIncomplete) {
+  std::vector<FlowRecord> recs{record(100.0), record(900.0),
+                               record(0.0, false)};
+  const Cdf cdf = throughput_cdf(recs);
+  EXPECT_EQ(cdf.count(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(500.0), 0.5);
+}
+
+TEST(Metrics, OffloadFraction) {
+  std::vector<FlowRecord> recs{record(100, true, true), record(100),
+                               record(100, true, true), record(100)};
+  EXPECT_DOUBLE_EQ(offload_fraction(recs), 0.5);
+  recs.push_back(record(0, false, true));  // incomplete: not counted
+  EXPECT_DOUBLE_EQ(offload_fraction(recs), 0.5);
+}
+
+TEST(Metrics, SwitchDistributionCountsOnlySwitchers) {
+  std::vector<FlowRecord> recs{
+      record(100, true, false, 0), record(100, true, true, 1),
+      record(100, true, true, 1), record(100, true, true, 2)};
+  const IntCounter c = switch_distribution(recs);
+  EXPECT_EQ(c.total(), 3u);  // the 0-switch flow is excluded
+  EXPECT_DOUBLE_EQ(c.fraction_of(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(2), 1.0);
+}
+
+TEST(Metrics, FractionAtLeast) {
+  std::vector<FlowRecord> recs{record(100), record(400), record(600),
+                               record(800)};
+  EXPECT_DOUBLE_EQ(fraction_at_least(recs, 500.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_least(recs, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_at_least(recs, 900.0), 0.0);
+}
+
+TEST(Metrics, SummaryAggregates) {
+  std::vector<FlowRecord> recs{record(200), record(600, true, true, 1)};
+  FlowRecord bad;
+  bad.spec.src = AsId(0);
+  bad.spec.dst = AsId(9);
+  bad.unreachable = true;
+  recs.push_back(bad);
+  const RunSummary s = summarize(recs);
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.unreachable, 1u);
+  EXPECT_NEAR(s.mean_throughput, 400.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.frac_at_500mbps, 0.5);
+  EXPECT_DOUBLE_EQ(s.offload, 0.5);
+}
+
+TEST(Metrics, EmptyRecordsSafe) {
+  std::vector<FlowRecord> recs;
+  EXPECT_EQ(summarize(recs).completed, 0u);
+  EXPECT_DOUBLE_EQ(offload_fraction(recs), 0.0);
+  EXPECT_EQ(switch_distribution(recs).total(), 0u);
+}
+
+}  // namespace
+}  // namespace mifo::sim

@@ -1,0 +1,106 @@
+#include "topo/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mifo::topo {
+namespace {
+
+TEST(AsGraph, EmptyGraph) {
+  AsGraph g;
+  EXPECT_EQ(g.num_ases(), 0u);
+  EXPECT_EQ(g.num_adjacencies(), 0u);
+}
+
+TEST(AsGraph, ProviderCustomerBothPerspectives) {
+  AsGraph g(2);
+  ASSERT_TRUE(g.add_provider_customer(AsId(0), AsId(1)));
+  // From AS0's view, AS1 is a customer; from AS1's view, AS0 is a provider.
+  EXPECT_EQ(g.rel(AsId(0), AsId(1)), Rel::Customer);
+  EXPECT_EQ(g.rel(AsId(1), AsId(0)), Rel::Provider);
+  EXPECT_EQ(g.num_pc_adjacencies(), 1u);
+  EXPECT_EQ(g.num_peer_adjacencies(), 0u);
+}
+
+TEST(AsGraph, PeeringSymmetric) {
+  AsGraph g(2);
+  ASSERT_TRUE(g.add_peering(AsId(0), AsId(1)));
+  EXPECT_EQ(g.rel(AsId(0), AsId(1)), Rel::Peer);
+  EXPECT_EQ(g.rel(AsId(1), AsId(0)), Rel::Peer);
+  EXPECT_EQ(g.num_peer_adjacencies(), 1u);
+}
+
+TEST(AsGraph, DuplicateAdjacencyRefused) {
+  AsGraph g(2);
+  ASSERT_TRUE(g.add_provider_customer(AsId(0), AsId(1)));
+  EXPECT_FALSE(g.add_provider_customer(AsId(0), AsId(1)));
+  EXPECT_FALSE(g.add_provider_customer(AsId(1), AsId(0)));
+  EXPECT_FALSE(g.add_peering(AsId(0), AsId(1)));
+  EXPECT_EQ(g.num_adjacencies(), 1u);
+}
+
+TEST(AsGraph, NotAdjacent) {
+  AsGraph g(3);
+  g.add_peering(AsId(0), AsId(1));
+  EXPECT_FALSE(g.rel(AsId(0), AsId(2)).has_value());
+  EXPECT_FALSE(g.adjacent(AsId(1), AsId(2)));
+  EXPECT_FALSE(g.link(AsId(0), AsId(2)).valid());
+}
+
+TEST(AsGraph, DirectedLinksAndTwins) {
+  AsGraph g(2);
+  g.add_peering(AsId(0), AsId(1));
+  const LinkId l01 = g.link(AsId(0), AsId(1));
+  const LinkId l10 = g.link(AsId(1), AsId(0));
+  ASSERT_TRUE(l01.valid());
+  ASSERT_TRUE(l10.valid());
+  EXPECT_NE(l01, l10);
+  EXPECT_EQ(g.twin(l01), l10);
+  EXPECT_EQ(g.twin(l10), l01);
+  EXPECT_EQ(g.link_from(l01), AsId(0));
+  EXPECT_EQ(g.link_to(l01), AsId(1));
+  EXPECT_EQ(g.num_directed_links(), 2u);
+}
+
+TEST(AsGraph, NeighborIteration) {
+  AsGraph g(4);
+  g.add_provider_customer(AsId(0), AsId(1));
+  g.add_provider_customer(AsId(2), AsId(0));
+  g.add_peering(AsId(0), AsId(3));
+  const auto nbs = g.neighbors(AsId(0));
+  ASSERT_EQ(nbs.size(), 3u);
+  EXPECT_EQ(g.customer_count(AsId(0)), 1u);
+  EXPECT_EQ(g.provider_count(AsId(0)), 1u);
+  EXPECT_EQ(g.peer_count(AsId(0)), 1u);
+  EXPECT_EQ(g.degree(AsId(0)), 3u);
+}
+
+TEST(AsGraph, NeighborLinkMatchesLookup) {
+  AsGraph g(3);
+  g.add_provider_customer(AsId(0), AsId(1));
+  g.add_peering(AsId(1), AsId(2));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (const auto& nb : g.neighbors(AsId(i))) {
+      EXPECT_EQ(nb.link, g.link(AsId(i), nb.as));
+      EXPECT_EQ(g.link_from(nb.link), AsId(i));
+      EXPECT_EQ(g.link_to(nb.link), nb.as);
+    }
+  }
+}
+
+TEST(AsGraph, InfoAnnotations) {
+  AsGraph g(2);
+  g.info(AsId(0)).tier = 1;
+  g.info(AsId(1)).content_provider = true;
+  EXPECT_EQ(g.info(AsId(0)).tier, 1);
+  EXPECT_TRUE(g.info(AsId(1)).content_provider);
+  EXPECT_EQ(g.info(AsId(1)).tier, 3);  // default
+}
+
+TEST(AsGraph, ResizeGrowsOnly) {
+  AsGraph g(2);
+  g.resize(5);
+  EXPECT_EQ(g.num_ases(), 5u);
+}
+
+}  // namespace
+}  // namespace mifo::topo

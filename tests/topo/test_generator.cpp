@@ -1,0 +1,142 @@
+#include "topo/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/analysis.hpp"
+
+namespace mifo::topo {
+namespace {
+
+GeneratorParams small_params(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.num_ases = 400;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Generator, Deterministic) {
+  const AsGraph a = generate_topology(small_params(5));
+  const AsGraph b = generate_topology(small_params(5));
+  EXPECT_EQ(a.num_adjacencies(), b.num_adjacencies());
+  EXPECT_EQ(a.num_pc_adjacencies(), b.num_pc_adjacencies());
+  for (std::uint32_t i = 0; i < a.num_ases(); ++i) {
+    EXPECT_EQ(a.degree(AsId(i)), b.degree(AsId(i)));
+  }
+}
+
+TEST(Generator, SeedChangesGraph) {
+  const AsGraph a = generate_topology(small_params(1));
+  const AsGraph b = generate_topology(small_params(2));
+  bool any_diff = a.num_adjacencies() != b.num_adjacencies();
+  for (std::uint32_t i = 0; !any_diff && i < a.num_ases(); ++i) {
+    any_diff = a.degree(AsId(i)) != b.degree(AsId(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The structural invariants every downstream algorithm relies on.
+class GeneratorInvariants
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(GeneratorInvariants, PcDagAcyclic) {
+  auto [n, seed] = GetParam();
+  GeneratorParams p;
+  p.num_ases = n;
+  p.seed = seed;
+  const AsGraph g = generate_topology(p);
+  EXPECT_TRUE(is_pc_acyclic(g));
+}
+
+TEST_P(GeneratorInvariants, Connected) {
+  auto [n, seed] = GetParam();
+  GeneratorParams p;
+  p.num_ases = n;
+  p.seed = seed;
+  EXPECT_TRUE(is_connected(generate_topology(p)));
+}
+
+TEST_P(GeneratorInvariants, EveryNonTier1HasAProvider) {
+  auto [n, seed] = GetParam();
+  GeneratorParams p;
+  p.num_ases = n;
+  p.seed = seed;
+  const AsGraph g = generate_topology(p);
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    if (g.info(AsId(i)).tier == 1) continue;
+    EXPECT_GE(g.provider_count(AsId(i)), 1u) << "AS " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GeneratorInvariants,
+    ::testing::Combine(::testing::Values<std::size_t>(50, 200, 1000),
+                       ::testing::Values<std::uint64_t>(1, 7, 1234)));
+
+TEST(Generator, Tier1FormsPeeringClique) {
+  const AsGraph g = generate_topology(small_params());
+  const auto attrs = attributes(g);
+  ASSERT_GE(attrs.tier1, 2u);
+  for (std::uint32_t i = 0; i < attrs.tier1; ++i) {
+    for (std::uint32_t j = i + 1; j < attrs.tier1; ++j) {
+      EXPECT_EQ(g.rel(AsId(i), AsId(j)), Rel::Peer);
+    }
+  }
+}
+
+TEST(Generator, PeeringMixNearTarget) {
+  GeneratorParams p;
+  p.num_ases = 2000;
+  p.seed = 3;
+  const AsGraph g = generate_topology(p);
+  const double frac = static_cast<double>(g.num_peer_adjacencies()) /
+                      static_cast<double>(g.num_adjacencies());
+  // Table I: 31.4% peering. Allow generator slack.
+  EXPECT_GT(frac, 0.22);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(Generator, DegreeDistributionHeavyTailed) {
+  GeneratorParams p;
+  p.num_ases = 2000;
+  const AsGraph g = generate_topology(p);
+  const auto attrs = attributes(g);
+  // Preferential attachment: the hub degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(attrs.max_degree), 10.0 * attrs.avg_degree);
+}
+
+TEST(Generator, ContentProvidersExistAndPeerWidely) {
+  GeneratorParams p;
+  p.num_ases = 2000;
+  const AsGraph g = generate_topology(p);
+  std::size_t cps = 0;
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(i);
+    if (!g.info(as).content_provider) continue;
+    ++cps;
+    EXPECT_GE(g.peer_count(as), 5u);
+  }
+  EXPECT_GE(cps, 1u);
+}
+
+TEST(Generator, AverageDegreeInternetLike) {
+  GeneratorParams p;
+  p.num_ases = 2000;
+  const AsGraph g = generate_topology(p);
+  const auto attrs = attributes(g);
+  // Table I: avg degree ~4.9. Accept a broad but Internet-like band.
+  EXPECT_GT(attrs.avg_degree, 3.0);
+  EXPECT_LT(attrs.avg_degree, 9.0);
+}
+
+TEST(Generator, TinyTopologyStillValid) {
+  GeneratorParams p;
+  p.num_ases = 3;
+  p.num_tier1 = 2;
+  const AsGraph g = generate_topology(p);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_pc_acyclic(g));
+}
+
+}  // namespace
+}  // namespace mifo::topo

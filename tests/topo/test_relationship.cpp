@@ -1,0 +1,124 @@
+#include "topo/relationship.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mifo::topo {
+namespace {
+
+TEST(Relationship, ReverseIsInvolution) {
+  for (Rel r : {Rel::Customer, Rel::Peer, Rel::Provider}) {
+    EXPECT_EQ(reverse(reverse(r)), r);
+  }
+  EXPECT_EQ(reverse(Rel::Customer), Rel::Provider);
+  EXPECT_EQ(reverse(Rel::Peer), Rel::Peer);
+}
+
+TEST(Relationship, StepDirClassification) {
+  EXPECT_EQ(step_dir(Rel::Provider), StepDir::Up);
+  EXPECT_EQ(step_dir(Rel::Peer), StepDir::Flat);
+  EXPECT_EQ(step_dir(Rel::Customer), StepDir::Down);
+}
+
+// Eq. 3 truth table: transit allowed iff upstream is a customer OR
+// downstream is a customer.
+TEST(Eq3, FullTruthTable) {
+  const Rel rels[] = {Rel::Customer, Rel::Peer, Rel::Provider};
+  for (Rel up : rels) {
+    for (Rel down : rels) {
+      const bool expected = (up == Rel::Customer) || (down == Rel::Customer);
+      EXPECT_EQ(may_transit(up, down), expected)
+          << "up=" << to_string(up) << " down=" << to_string(down);
+    }
+  }
+}
+
+// "One more bit is enough": tag+check must realize exactly Eq. 3.
+TEST(TagCheck, EquivalentToEq3) {
+  const Rel rels[] = {Rel::Customer, Rel::Peer, Rel::Provider};
+  for (Rel up : rels) {
+    for (Rel down : rels) {
+      EXPECT_EQ(check_bit(tag_bit(up), down), may_transit(up, down));
+    }
+  }
+}
+
+TEST(TagCheck, TagOnlyForCustomers) {
+  EXPECT_TRUE(tag_bit(Rel::Customer));
+  EXPECT_FALSE(tag_bit(Rel::Peer));
+  EXPECT_FALSE(tag_bit(Rel::Provider));
+}
+
+TEST(ValleyFree, EmptyAndSingleStep) {
+  EXPECT_TRUE(is_valley_free({}));
+  for (StepDir d : {StepDir::Up, StepDir::Flat, StepDir::Down}) {
+    std::vector<StepDir> steps{d};
+    EXPECT_TRUE(is_valley_free(steps));
+  }
+}
+
+TEST(ValleyFree, CanonicalShapes) {
+  using S = std::vector<StepDir>;
+  EXPECT_TRUE(is_valley_free(S{StepDir::Up, StepDir::Up, StepDir::Down}));
+  EXPECT_TRUE(is_valley_free(
+      S{StepDir::Up, StepDir::Flat, StepDir::Down, StepDir::Down}));
+  EXPECT_TRUE(is_valley_free(S{StepDir::Flat, StepDir::Down}));
+  EXPECT_TRUE(is_valley_free(S{StepDir::Down, StepDir::Down}));
+}
+
+TEST(ValleyFree, Violations) {
+  using S = std::vector<StepDir>;
+  // Down then up: a valley.
+  EXPECT_FALSE(is_valley_free(S{StepDir::Down, StepDir::Up}));
+  // Two peering hops.
+  EXPECT_FALSE(is_valley_free(S{StepDir::Flat, StepDir::Flat}));
+  // Peer then up.
+  EXPECT_FALSE(is_valley_free(S{StepDir::Flat, StepDir::Up}));
+  // Up after the single allowed flat step.
+  EXPECT_FALSE(
+      is_valley_free(S{StepDir::Up, StepDir::Flat, StepDir::Up}));
+}
+
+// Property: a step sequence is valley-free iff every interior transit
+// satisfies Eq. 3 under the tag produced by the previous step. This is the
+// paper's claim that the hop-by-hop rule equals the global property.
+class ValleyFreeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValleyFreeEquivalence, HopByHopEqualsGlobal) {
+  // Enumerate all step sequences of the given length.
+  const int len = GetParam();
+  const StepDir dirs[] = {StepDir::Up, StepDir::Flat, StepDir::Down};
+  int total = 1;
+  for (int i = 0; i < len; ++i) total *= 3;
+  for (int code = 0; code < total; ++code) {
+    std::vector<StepDir> steps;
+    int c = code;
+    for (int i = 0; i < len; ++i) {
+      steps.push_back(dirs[c % 3]);
+      c /= 3;
+    }
+    // Hop-by-hop: the tag entering hop i reflects the relationship with the
+    // upstream neighbor; sources start tagged (like customer ingress).
+    bool ok = true;
+    bool tag = true;
+    for (const StepDir s : steps) {
+      const Rel down = s == StepDir::Up     ? Rel::Provider
+                       : s == StepDir::Flat ? Rel::Peer
+                                            : Rel::Customer;
+      if (!check_bit(tag, down)) {
+        ok = false;
+        break;
+      }
+      // The next AS sees us as customer iff we stepped up to it.
+      tag = (s == StepDir::Up);
+    }
+    EXPECT_EQ(ok, is_valley_free(steps)) << "len=" << len << " code=" << code;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ValleyFreeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace mifo::topo

@@ -1,0 +1,74 @@
+#include "topo/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/analysis.hpp"
+#include "topo/generator.hpp"
+
+namespace mifo::topo {
+namespace {
+
+TEST(Serialization, RoundTripSmallGraph) {
+  AsGraph g(3);
+  g.add_provider_customer(AsId(0), AsId(1));
+  g.add_peering(AsId(1), AsId(2));
+  g.info(AsId(0)).tier = 1;
+  g.info(AsId(2)).content_provider = true;
+
+  const AsGraph parsed = parse_string(serialize_to_string(g));
+  EXPECT_EQ(parsed.num_ases(), 3u);
+  EXPECT_EQ(parsed.rel(AsId(0), AsId(1)), Rel::Customer);
+  EXPECT_EQ(parsed.rel(AsId(1), AsId(0)), Rel::Provider);
+  EXPECT_EQ(parsed.rel(AsId(1), AsId(2)), Rel::Peer);
+  EXPECT_EQ(parsed.info(AsId(0)).tier, 1);
+  EXPECT_TRUE(parsed.info(AsId(2)).content_provider);
+}
+
+TEST(Serialization, RoundTripGeneratedTopology) {
+  GeneratorParams p;
+  p.num_ases = 500;
+  p.seed = 11;
+  const AsGraph g = generate_topology(p);
+  const AsGraph parsed = parse_string(serialize_to_string(g));
+
+  ASSERT_EQ(parsed.num_ases(), g.num_ases());
+  EXPECT_EQ(parsed.num_adjacencies(), g.num_adjacencies());
+  EXPECT_EQ(parsed.num_pc_adjacencies(), g.num_pc_adjacencies());
+  EXPECT_EQ(parsed.num_peer_adjacencies(), g.num_peer_adjacencies());
+  for (std::uint32_t i = 0; i < g.num_ases(); ++i) {
+    const AsId as(i);
+    ASSERT_EQ(parsed.degree(as), g.degree(as)) << "AS " << i;
+    for (const auto& nb : g.neighbors(as)) {
+      EXPECT_EQ(parsed.rel(as, nb.as), nb.rel);
+    }
+    EXPECT_EQ(parsed.info(as).tier, g.info(as).tier);
+    EXPECT_EQ(parsed.info(as).content_provider, g.info(as).content_provider);
+  }
+}
+
+TEST(Serialization, ParseIgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "0 1 p2c\n"
+      "# another\n"
+      "1 2 peer\n";
+  const AsGraph g = parse_string(text);
+  EXPECT_EQ(g.num_ases(), 3u);
+  EXPECT_EQ(g.rel(AsId(0), AsId(1)), Rel::Customer);
+  EXPECT_EQ(g.rel(AsId(2), AsId(1)), Rel::Peer);
+}
+
+TEST(Serialization, ParseGrowsToLargestId) {
+  const AsGraph g = parse_string("0 9 peer\n");
+  EXPECT_EQ(g.num_ases(), 10u);
+}
+
+TEST(Serialization, DeclaredNodeCountCreatesIsolatedAses) {
+  const AsGraph g = parse_string("# nodes 5\n0 1 p2c\n");
+  EXPECT_EQ(g.num_ases(), 5u);
+  EXPECT_EQ(g.degree(AsId(4)), 0u);
+}
+
+}  // namespace
+}  // namespace mifo::topo

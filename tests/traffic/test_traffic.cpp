@@ -1,0 +1,156 @@
+#include "traffic/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generator.hpp"
+
+namespace mifo::traffic {
+namespace {
+
+topo::AsGraph topo_graph() {
+  topo::GeneratorParams p;
+  p.num_ases = 300;
+  p.seed = 4;
+  return topo::generate_topology(p);
+}
+
+TEST(UniformTraffic, BasicShape) {
+  const auto g = topo_graph();
+  TrafficParams p;
+  p.num_flows = 5000;
+  const auto flows = uniform_traffic(g, p);
+  ASSERT_EQ(flows.size(), 5000u);
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_LT(f.src.value(), g.num_ases());
+    EXPECT_LT(f.dst.value(), g.num_ases());
+    EXPECT_EQ(f.size, 10 * kMegaByte);
+  }
+}
+
+TEST(UniformTraffic, ArrivalsAreSortedPoisson) {
+  const auto g = topo_graph();
+  TrafficParams p;
+  p.num_flows = 20000;
+  p.arrival_rate = 100.0;
+  const auto flows = uniform_traffic(g, p);
+  double prev = 0.0;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.arrival, prev);
+    prev = f.arrival;
+  }
+  // 20000 flows at 100/s should span ~200 s.
+  EXPECT_NEAR(flows.back().arrival, 200.0, 20.0);
+}
+
+TEST(UniformTraffic, DestPoolBoundsDistinctDestinations) {
+  const auto g = topo_graph();
+  TrafficParams p;
+  p.num_flows = 5000;
+  p.dest_pool = 16;
+  const auto flows = uniform_traffic(g, p);
+  std::set<std::uint32_t> dests;
+  for (const auto& f : flows) dests.insert(f.dst.value());
+  EXPECT_LE(dests.size(), 16u);
+}
+
+TEST(UniformTraffic, Deterministic) {
+  const auto g = topo_graph();
+  TrafficParams p;
+  p.num_flows = 100;
+  const auto a = uniform_traffic(g, p);
+  const auto b = uniform_traffic(g, p);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(RankByConnectivity, SortedByProvidersPlusPeers) {
+  const auto g = topo_graph();
+  const auto ranked = rank_by_connectivity(g);
+  ASSERT_EQ(ranked.size(), g.num_ases());
+  auto score = [&g](AsId as) {
+    return g.provider_count(as) + g.peer_count(as);
+  };
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(score(ranked[i - 1]), score(ranked[i]));
+  }
+}
+
+TEST(PowerLawTraffic, TopProviderDominates) {
+  const auto g = topo_graph();
+  PowerLawParams p;
+  p.num_flows = 30000;
+  p.alpha = 1.0;
+  const auto flows = power_law_traffic(g, p);
+  const auto ranked = rank_by_connectivity(g);
+  std::size_t from_top = 0;
+  for (const auto& f : flows) {
+    if (f.src == ranked[0]) ++from_top;
+  }
+  // Zipf(1.0): rank-1 mass dominates any single lower rank.
+  EXPECT_GT(from_top, flows.size() / 50);
+  std::size_t from_rank100 = 0;
+  for (const auto& f : flows) {
+    if (f.src == ranked[99]) ++from_rank100;
+  }
+  EXPECT_GT(from_top, from_rank100);
+}
+
+TEST(PowerLawTraffic, HigherAlphaMoreSkewed) {
+  const auto g = topo_graph();
+  auto top_share = [&g](double alpha) {
+    PowerLawParams p;
+    p.num_flows = 20000;
+    p.alpha = alpha;
+    p.seed = 5;
+    const auto flows = power_law_traffic(g, p);
+    const auto ranked = rank_by_connectivity(g);
+    std::set<std::uint32_t> top5(
+        {ranked[0].value(), ranked[1].value(), ranked[2].value(),
+         ranked[3].value(), ranked[4].value()});
+    std::size_t n = 0;
+    for (const auto& f : flows) n += top5.count(f.src.value());
+    return static_cast<double>(n) / flows.size();
+  };
+  EXPECT_GT(top_share(1.2), top_share(0.8));
+}
+
+TEST(PowerLawTraffic, ConsumersAreStubs) {
+  const auto g = topo_graph();
+  PowerLawParams p;
+  p.num_flows = 2000;
+  const auto flows = power_law_traffic(g, p);
+  for (const auto& f : flows) {
+    EXPECT_EQ(g.info(f.dst).tier, 3) << "dst " << f.dst.value();
+  }
+}
+
+TEST(RandomDeployment, RatioRespected) {
+  const auto mask = random_deployment(10000, 0.3, 7);
+  std::size_t on = 0;
+  for (const bool b : mask) on += b ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(on) / mask.size(), 0.3, 0.03);
+}
+
+TEST(RandomDeployment, FullRatioIsAllTrue) {
+  const auto mask = random_deployment(100, 1.0, 7);
+  for (const bool b : mask) EXPECT_TRUE(b);
+}
+
+TEST(RandomDeployment, ZeroRatioIsAllFalse) {
+  const auto mask = random_deployment(100, 0.0, 7);
+  for (const bool b : mask) EXPECT_FALSE(b);
+}
+
+TEST(RandomDeployment, DeterministicPerSeed) {
+  EXPECT_EQ(random_deployment(500, 0.5, 9), random_deployment(500, 0.5, 9));
+  EXPECT_NE(random_deployment(500, 0.5, 9), random_deployment(500, 0.5, 10));
+}
+
+}  // namespace
+}  // namespace mifo::traffic
