@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_offload.dir/bench_fig8_offload.cpp.o"
+  "CMakeFiles/bench_fig8_offload.dir/bench_fig8_offload.cpp.o.d"
+  "bench_fig8_offload"
+  "bench_fig8_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

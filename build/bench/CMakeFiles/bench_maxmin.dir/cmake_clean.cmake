@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxmin.dir/bench_maxmin.cpp.o"
+  "CMakeFiles/bench_maxmin.dir/bench_maxmin.cpp.o.d"
+  "bench_maxmin"
+  "bench_maxmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

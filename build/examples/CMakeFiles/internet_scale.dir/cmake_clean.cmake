@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_scale.dir/internet_scale.cpp.o"
+  "CMakeFiles/internet_scale.dir/internet_scale.cpp.o.d"
+  "internet_scale"
+  "internet_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

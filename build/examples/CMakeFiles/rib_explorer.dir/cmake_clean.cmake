@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rib_explorer.dir/rib_explorer.cpp.o"
+  "CMakeFiles/rib_explorer.dir/rib_explorer.cpp.o.d"
+  "rib_explorer"
+  "rib_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rib_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

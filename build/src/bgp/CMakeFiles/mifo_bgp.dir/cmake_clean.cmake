@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_bgp.dir/ibgp.cpp.o"
+  "CMakeFiles/mifo_bgp.dir/ibgp.cpp.o.d"
+  "CMakeFiles/mifo_bgp.dir/path_count.cpp.o"
+  "CMakeFiles/mifo_bgp.dir/path_count.cpp.o.d"
+  "CMakeFiles/mifo_bgp.dir/routing.cpp.o"
+  "CMakeFiles/mifo_bgp.dir/routing.cpp.o.d"
+  "libmifo_bgp.a"
+  "libmifo_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

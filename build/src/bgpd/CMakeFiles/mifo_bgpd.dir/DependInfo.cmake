@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpd/session_network.cpp" "src/bgpd/CMakeFiles/mifo_bgpd.dir/session_network.cpp.o" "gcc" "src/bgpd/CMakeFiles/mifo_bgpd.dir/session_network.cpp.o.d"
+  "/root/repo/src/bgpd/speaker.cpp" "src/bgpd/CMakeFiles/mifo_bgpd.dir/speaker.cpp.o" "gcc" "src/bgpd/CMakeFiles/mifo_bgpd.dir/speaker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_bgpd.dir/session_network.cpp.o"
+  "CMakeFiles/mifo_bgpd.dir/session_network.cpp.o.d"
+  "CMakeFiles/mifo_bgpd.dir/speaker.cpp.o"
+  "CMakeFiles/mifo_bgpd.dir/speaker.cpp.o.d"
+  "libmifo_bgpd.a"
+  "libmifo_bgpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_bgpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_common.dir/env.cpp.o"
+  "CMakeFiles/mifo_common.dir/env.cpp.o.d"
+  "CMakeFiles/mifo_common.dir/logging.cpp.o"
+  "CMakeFiles/mifo_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mifo_common.dir/rng.cpp.o"
+  "CMakeFiles/mifo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mifo_common.dir/stats.cpp.o"
+  "CMakeFiles/mifo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mifo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mifo_common.dir/thread_pool.cpp.o.d"
+  "libmifo_common.a"
+  "libmifo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

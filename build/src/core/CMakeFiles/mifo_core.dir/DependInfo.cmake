@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/mifo_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/mifo_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/link_monitor.cpp" "src/core/CMakeFiles/mifo_core.dir/link_monitor.cpp.o" "gcc" "src/core/CMakeFiles/mifo_core.dir/link_monitor.cpp.o.d"
+  "/root/repo/src/core/walk.cpp" "src/core/CMakeFiles/mifo_core.dir/walk.cpp.o" "gcc" "src/core/CMakeFiles/mifo_core.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/mifo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/miro/CMakeFiles/mifo_miro.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

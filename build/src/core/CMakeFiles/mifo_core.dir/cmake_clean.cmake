@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_core.dir/daemon.cpp.o"
+  "CMakeFiles/mifo_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/mifo_core.dir/link_monitor.cpp.o"
+  "CMakeFiles/mifo_core.dir/link_monitor.cpp.o.d"
+  "CMakeFiles/mifo_core.dir/walk.cpp.o"
+  "CMakeFiles/mifo_core.dir/walk.cpp.o.d"
+  "libmifo_core.a"
+  "libmifo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/fib.cpp" "src/dataplane/CMakeFiles/mifo_dataplane.dir/fib.cpp.o" "gcc" "src/dataplane/CMakeFiles/mifo_dataplane.dir/fib.cpp.o.d"
+  "/root/repo/src/dataplane/network.cpp" "src/dataplane/CMakeFiles/mifo_dataplane.dir/network.cpp.o" "gcc" "src/dataplane/CMakeFiles/mifo_dataplane.dir/network.cpp.o.d"
+  "/root/repo/src/dataplane/router.cpp" "src/dataplane/CMakeFiles/mifo_dataplane.dir/router.cpp.o" "gcc" "src/dataplane/CMakeFiles/mifo_dataplane.dir/router.cpp.o.d"
+  "/root/repo/src/dataplane/transport.cpp" "src/dataplane/CMakeFiles/mifo_dataplane.dir/transport.cpp.o" "gcc" "src/dataplane/CMakeFiles/mifo_dataplane.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

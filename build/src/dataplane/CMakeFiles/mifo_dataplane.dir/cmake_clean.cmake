@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_dataplane.dir/fib.cpp.o"
+  "CMakeFiles/mifo_dataplane.dir/fib.cpp.o.d"
+  "CMakeFiles/mifo_dataplane.dir/network.cpp.o"
+  "CMakeFiles/mifo_dataplane.dir/network.cpp.o.d"
+  "CMakeFiles/mifo_dataplane.dir/router.cpp.o"
+  "CMakeFiles/mifo_dataplane.dir/router.cpp.o.d"
+  "CMakeFiles/mifo_dataplane.dir/transport.cpp.o"
+  "CMakeFiles/mifo_dataplane.dir/transport.cpp.o.d"
+  "libmifo_dataplane.a"
+  "libmifo_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miro/miro.cpp" "src/miro/CMakeFiles/mifo_miro.dir/miro.cpp.o" "gcc" "src/miro/CMakeFiles/mifo_miro.dir/miro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_miro.dir/miro.cpp.o"
+  "CMakeFiles/mifo_miro.dir/miro.cpp.o.d"
+  "libmifo_miro.a"
+  "libmifo_miro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_miro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

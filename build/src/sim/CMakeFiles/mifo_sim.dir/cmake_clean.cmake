@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_sim.dir/fluid_sim.cpp.o"
+  "CMakeFiles/mifo_sim.dir/fluid_sim.cpp.o.d"
+  "CMakeFiles/mifo_sim.dir/maxmin.cpp.o"
+  "CMakeFiles/mifo_sim.dir/maxmin.cpp.o.d"
+  "CMakeFiles/mifo_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mifo_sim.dir/metrics.cpp.o.d"
+  "libmifo_sim.a"
+  "libmifo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

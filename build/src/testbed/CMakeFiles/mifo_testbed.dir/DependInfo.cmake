@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/emulation.cpp" "src/testbed/CMakeFiles/mifo_testbed.dir/emulation.cpp.o" "gcc" "src/testbed/CMakeFiles/mifo_testbed.dir/emulation.cpp.o.d"
+  "/root/repo/src/testbed/fig11.cpp" "src/testbed/CMakeFiles/mifo_testbed.dir/fig11.cpp.o" "gcc" "src/testbed/CMakeFiles/mifo_testbed.dir/fig11.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/mifo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/miro/CMakeFiles/mifo_miro.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_testbed.dir/emulation.cpp.o"
+  "CMakeFiles/mifo_testbed.dir/emulation.cpp.o.d"
+  "CMakeFiles/mifo_testbed.dir/fig11.cpp.o"
+  "CMakeFiles/mifo_testbed.dir/fig11.cpp.o.d"
+  "libmifo_testbed.a"
+  "libmifo_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

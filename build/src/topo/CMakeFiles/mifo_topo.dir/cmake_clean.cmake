@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_topo.dir/analysis.cpp.o"
+  "CMakeFiles/mifo_topo.dir/analysis.cpp.o.d"
+  "CMakeFiles/mifo_topo.dir/as_graph.cpp.o"
+  "CMakeFiles/mifo_topo.dir/as_graph.cpp.o.d"
+  "CMakeFiles/mifo_topo.dir/generator.cpp.o"
+  "CMakeFiles/mifo_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/mifo_topo.dir/relationship.cpp.o"
+  "CMakeFiles/mifo_topo.dir/relationship.cpp.o.d"
+  "CMakeFiles/mifo_topo.dir/serialization.cpp.o"
+  "CMakeFiles/mifo_topo.dir/serialization.cpp.o.d"
+  "libmifo_topo.a"
+  "libmifo_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

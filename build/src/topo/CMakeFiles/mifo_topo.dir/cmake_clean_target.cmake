@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmifo_topo.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mifo_traffic.dir/traffic.cpp.o"
+  "CMakeFiles/mifo_traffic.dir/traffic.cpp.o.d"
+  "libmifo_traffic.a"
+  "libmifo_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mifo_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

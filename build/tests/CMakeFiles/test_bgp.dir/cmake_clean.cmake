@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/bgp/test_ibgp.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_ibgp.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_path_count.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_path_count.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_routing.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_routing.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_routing_property.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_routing_property.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgpd.dir/bgpd/test_session_network.cpp.o"
+  "CMakeFiles/test_bgpd.dir/bgpd/test_session_network.cpp.o.d"
+  "CMakeFiles/test_bgpd.dir/bgpd/test_speaker.cpp.o"
+  "CMakeFiles/test_bgpd.dir/bgpd/test_speaker.cpp.o.d"
+  "test_bgpd"
+  "test_bgpd.pdb"
+  "test_bgpd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

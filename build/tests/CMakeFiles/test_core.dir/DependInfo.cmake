@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_daemon.cpp" "tests/CMakeFiles/test_core.dir/core/test_daemon.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_daemon.cpp.o.d"
+  "/root/repo/tests/core/test_link_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_link_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_link_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_walk.cpp" "tests/CMakeFiles/test_core.dir/core/test_walk.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_walk.cpp.o.d"
+  "/root/repo/tests/core/test_walk_property.cpp" "tests/CMakeFiles/test_core.dir/core/test_walk_property.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_walk_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/mifo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/miro/CMakeFiles/mifo_miro.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/mifo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mifo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/mifo_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

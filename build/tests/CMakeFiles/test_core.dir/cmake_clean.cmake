@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_daemon.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_daemon.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_link_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_link_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_walk.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_walk.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_walk_property.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_walk_property.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataplane.dir/dataplane/test_failure_injection.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_fib.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_fib.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_forwarding_engine.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_forwarding_engine.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_network.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_network.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_packet.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_packet.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_transport.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_transport.cpp.o.d"
+  "test_dataplane"
+  "test_dataplane.pdb"
+  "test_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

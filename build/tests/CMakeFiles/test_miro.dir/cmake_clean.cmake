@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miro.dir/miro/test_miro.cpp.o"
+  "CMakeFiles/test_miro.dir/miro/test_miro.cpp.o.d"
+  "test_miro"
+  "test_miro.pdb"
+  "test_miro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

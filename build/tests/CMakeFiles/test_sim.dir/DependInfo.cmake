@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_fluid_sim.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fluid_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fluid_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_maxmin.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_maxmin.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_maxmin.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mifo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mifo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mifo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/mifo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/miro/CMakeFiles/mifo_miro.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/mifo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mifo_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/mifo_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/test_analysis.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_analysis.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_as_graph.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_as_graph.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_generator.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_generator.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_relationship.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_relationship.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_serialization.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_serialization.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
