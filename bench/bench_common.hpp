@@ -8,15 +8,20 @@
 //   MIFO_DEST_POOL   distinct destination ASes (0 = unrestricted)
 //   MIFO_ARRIVAL     flow arrival rate (flows/s)
 //   MIFO_SEED        master seed
+//   MIFO_THREADS     worker threads (0 = hardware_concurrency); drives both
+//                    the per-sim route-cache warmup and the concurrent
+//                    figure arms — results are bit-identical at any setting
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sim/metrics.hpp"
 #include "topo/analysis.hpp"
@@ -31,6 +36,7 @@ struct Scale {
   std::size_t dest_pool;
   double arrival;
   std::uint64_t seed;
+  std::size_t threads;
 };
 
 /// Defaults sized for single-core minutes; the paper ran 44,340 ASes and
@@ -43,7 +49,21 @@ inline Scale load_scale(std::size_t topo_n, std::size_t flows,
   s.dest_pool = env_u64("MIFO_DEST_POOL", dest_pool);
   s.arrival = env_double("MIFO_ARRIVAL", arrival);
   s.seed = env_u64("MIFO_SEED", 1);
+  s.threads = default_thread_count();
   return s;
+}
+
+/// Runs independent experiment arms (each a void() closure producing its
+/// result by side effect into its own slot) across MIFO_THREADS workers.
+/// Each arm owns its FluidSim, so arms only share const topology state.
+inline void run_arms(std::size_t threads,
+                     const std::vector<std::function<void()>>& arms) {
+  if (threads <= 1 || arms.size() < 2) {
+    for (const auto& arm : arms) arm();
+    return;
+  }
+  ThreadPool pool(std::min(threads, arms.size()));
+  parallel_for(pool, arms.size(), [&arms](std::size_t i) { arms[i](); });
 }
 
 inline topo::AsGraph make_topology(const Scale& s) {
@@ -65,9 +85,11 @@ inline std::vector<traffic::FlowSpec> make_uniform(const topo::AsGraph& g,
 
 inline std::vector<sim::FlowRecord> run_sim(
     const topo::AsGraph& g, const std::vector<traffic::FlowSpec>& specs,
-    sim::RoutingMode mode, double deploy_ratio, std::uint64_t seed) {
+    sim::RoutingMode mode, double deploy_ratio, std::uint64_t seed,
+    std::size_t threads = 0) {
   sim::SimConfig cfg;
   cfg.mode = mode;
+  cfg.threads = threads;
   sim::FluidSim fs(g, cfg);
   fs.set_deployment(
       traffic::random_deployment(g.num_ases(), deploy_ratio, seed * 7 + 5));

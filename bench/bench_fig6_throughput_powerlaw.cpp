@@ -16,27 +16,45 @@ void print_fig6() {
   const auto s = bench::load_scale(400, 8000, 0, 800.0);
   const auto g = bench::make_topology(s);
 
-  for (const double alpha : {0.8, 1.0, 1.2}) {
+  // Generate each alpha's trace up front, then run the nine (alpha, mode)
+  // sweep arms concurrently and print in deterministic order.
+  const std::vector<double> alphas{0.8, 1.0, 1.2};
+  std::vector<std::vector<traffic::FlowSpec>> specs(alphas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
     traffic::PowerLawParams tp;
     tp.num_flows = s.flows;
     tp.arrival_rate = s.arrival;
-    tp.alpha = alpha;
+    tp.alpha = alphas[i];
     tp.seed = s.seed * 3 + 1;
-    const auto specs = traffic::power_law_traffic(g, tp);
+    specs[i] = traffic::power_law_traffic(g, tp);
+  }
 
-    const auto bgp =
-        bench::run_sim(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed);
-    const auto miro =
-        bench::run_sim(g, specs, sim::RoutingMode::Miro, 0.5, s.seed);
-    const auto mifo =
-        bench::run_sim(g, specs, sim::RoutingMode::Mifo, 0.5, s.seed);
+  const std::vector<std::pair<sim::RoutingMode, double>> modes{
+      {sim::RoutingMode::Bgp, 0.0},
+      {sim::RoutingMode::Miro, 0.5},
+      {sim::RoutingMode::Mifo, 0.5}};
+  std::vector<std::vector<sim::FlowRecord>> recs(alphas.size() * modes.size());
+  std::vector<std::function<void()>> arms;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      arms.emplace_back([&, i, m] {
+        recs[i * modes.size() + m] = bench::run_sim(
+            g, specs[i], modes[m].first, modes[m].second, s.seed);
+      });
+    }
+  }
+  bench::run_arms(s.threads, arms);
+
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
     char title[128];
     std::snprintf(title, sizeof(title),
                   "Fig. 6: throughput CDF, power-law alpha=%.1f, 50%% "
                   "deployment",
-                  alpha);
-    bench::print_throughput_cdf(
-        title, {{"BGP", &bgp}, {"MIRO", &miro}, {"MIFO", &mifo}});
+                  alphas[i]);
+    bench::print_throughput_cdf(title,
+                                {{"BGP", &recs[i * modes.size()]},
+                                 {"MIRO", &recs[i * modes.size() + 1]},
+                                 {"MIFO", &recs[i * modes.size() + 2]}});
   }
   std::printf("\npaper (alpha=1.0): 40%% MIFO / 17%% MIRO / 7%% BGP flows "
               ">=500 Mbps; BGP degrades as skew grows\n");

@@ -3,6 +3,7 @@
 // experiment.
 
 #include <set>
+#include <span>
 
 #include "bench_common.hpp"
 #include "sim/maxmin.hpp"
@@ -11,31 +12,65 @@ namespace {
 
 using namespace mifo;
 
-void BM_MaxMin(benchmark::State& state) {
-  const auto flows = static_cast<std::size_t>(state.range(0));
-  const auto links = static_cast<std::size_t>(state.range(1));
-  Rng rng(42);
-  std::vector<double> caps(links, 1000.0);
-  std::vector<std::vector<std::uint32_t>> paths(flows);
-  for (auto& p : paths) {
-    std::set<std::uint32_t> ls;
-    const std::size_t hops = 2 + rng.bounded(4);
-    while (ls.size() < hops) {
-      ls.insert(static_cast<std::uint32_t>(rng.bounded(links)));
+struct MaxMinInstance {
+  std::vector<double> caps;
+  std::vector<std::vector<std::uint32_t>> paths;
+  std::vector<std::span<const std::uint32_t>> views;
+
+  MaxMinInstance(std::size_t flows, std::size_t links)
+      : caps(links, 1000.0), paths(flows) {
+    Rng rng(42);
+    for (auto& p : paths) {
+      std::set<std::uint32_t> ls;
+      const std::size_t hops = 2 + rng.bounded(4);
+      while (ls.size() < hops) {
+        ls.insert(static_cast<std::uint32_t>(rng.bounded(links)));
+      }
+      p.assign(ls.begin(), ls.end());
     }
-    p.assign(ls.begin(), ls.end());
+    views.assign(paths.begin(), paths.end());
   }
-  for (auto _ : state) {
+
+  [[nodiscard]] sim::MaxMinInput input() const {
     sim::MaxMinInput in;
-    in.flow_links = paths;
+    in.flow_links = views;
     in.link_capacity = caps;
     in.flow_cap = 1000.0;
-    auto rates = sim::max_min_rates(in);
+    in.num_links = caps.size();
+    return in;
+  }
+};
+
+// The dense-workspace solver exactly as FluidSim drives it: one workspace
+// reused across re-evaluation ticks (allocation-free steady state).
+void BM_MaxMin(benchmark::State& state) {
+  const MaxMinInstance inst(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)));
+  sim::MaxMinWorkspace ws;
+  for (auto _ : state) {
+    const auto rates = sim::max_min_rates(inst.input(), ws);
     benchmark::DoNotOptimize(rates.data());
   }
-  state.SetItemsProcessed(state.iterations() * flows);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MaxMin)
+    ->Args({100, 200})
+    ->Args({1000, 2000})
+    ->Args({5000, 5000})
+    ->Unit(benchmark::kMicrosecond);
+
+// The original hash-map link-compaction solver, kept as the speedup
+// yardstick (and differential-test oracle).
+void BM_MaxMinReference(benchmark::State& state) {
+  const MaxMinInstance inst(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto rates = sim::max_min_rates_reference(inst.input());
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaxMinReference)
     ->Args({100, 200})
     ->Args({1000, 2000})
     ->Args({5000, 5000})

@@ -1,12 +1,17 @@
 // Internet-scale study: BGP vs MIRO vs MIFO on a generated AS topology with
 // uniform traffic — a miniature of the paper's Fig. 5(b) (50% deployment).
+// The three scheme arms are independent sims and run concurrently across
+// MIFO_THREADS workers (0/unset = hardware_concurrency).
 //
 //   ./examples/internet_scale [num_ases] [num_flows] [deploy_ratio]
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sim/metrics.hpp"
 #include "topo/analysis.hpp"
@@ -35,18 +40,19 @@ int main(int argc, char** argv) {
   const auto flows = traffic::uniform_traffic(g, tp);
   const auto deployed = traffic::random_deployment(g.num_ases(), ratio, 17);
 
-  std::vector<std::vector<std::string>> rows;
-  for (const auto mode : {sim::RoutingMode::Bgp, sim::RoutingMode::Miro,
-                          sim::RoutingMode::Mifo}) {
+  const std::vector<sim::RoutingMode> modes{
+      sim::RoutingMode::Bgp, sim::RoutingMode::Miro, sim::RoutingMode::Mifo};
+  std::vector<std::vector<std::string>> rows(modes.size());
+  auto run_mode = [&](std::size_t i) {
     sim::SimConfig sc;
-    sc.mode = mode;
+    sc.mode = modes[i];
     sim::FluidSim fs(g, sc);
     fs.set_deployment(deployed);
     const auto records = fs.run(flows);
     const auto s = sim::summarize(records);
     char buf[64];
     std::vector<std::string> row;
-    row.emplace_back(sim::to_string(mode));
+    row.emplace_back(sim::to_string(modes[i]));
     std::snprintf(buf, sizeof(buf), "%.0f", s.mean_throughput);
     row.emplace_back(buf);
     std::snprintf(buf, sizeof(buf), "%.0f", s.median_throughput);
@@ -55,7 +61,13 @@ int main(int argc, char** argv) {
     row.emplace_back(buf);
     std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * s.offload);
     row.emplace_back(buf);
-    rows.push_back(std::move(row));
+    rows[i] = std::move(row);
+  };
+  if (default_thread_count() > 1) {
+    ThreadPool pool(std::min(default_thread_count(), modes.size()));
+    parallel_for(pool, modes.size(), run_mode);
+  } else {
+    for (std::size_t i = 0; i < modes.size(); ++i) run_mode(i);
   }
   std::printf("\n%zu flows, %.0f%% deployment:\n%s", num_flows, 100.0 * ratio,
               format_table({"mode", "mean Mbps", "median Mbps", ">=500Mbps",

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 suite in the default build, then the
+# concurrency-sensitive tests (thread pool, fluid-sim warmup) once under
+# ThreadSanitizer (MIFO_SANITIZE=thread; see the top-level CMakeLists).
+#
+#   scripts/check.sh [build_dir] [tsan_build_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+tsan_dir="${2:-build-tsan}"
+jobs="$(nproc)"
+
+echo "=== tier-1: build + ctest (${build_dir}) ==="
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "=== TSan: thread-pool + fluid-sim tests (${tsan_dir}) ==="
+cmake -B "$tsan_dir" -S . -DMIFO_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$jobs" --target test_common test_sim
+"$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*'
+"$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
+
+echo "OK: tier-1 suite and TSan concurrency tests all passed"

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "common/contracts.hpp"
+#include "common/env.hpp"
 
 namespace mifo {
 
@@ -61,32 +64,89 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t n,
+namespace {
+
+/// Completion tracking local to one parallel_for call, so concurrent or
+/// nested invocations on the same pool never wait on each other's tasks.
+/// Heap-allocated (shared with the helper tasks): a helper that is still
+/// queued when the call returns must find valid state when it finally runs.
+struct ForState {
+  std::atomic<std::size_t> next{0};  ///< next unclaimed iteration offset
+  std::atomic<bool> abort{false};    ///< set on first exception
+  std::mutex mutex;
+  std::condition_variable idle;
+  std::size_t active = 0;  ///< helpers currently executing chunks
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
   const std::size_t workers = pool.size();
   if (workers <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Serial fallback: in order, exceptions propagate directly.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::atomic<std::size_t> next{0};
-  for (std::size_t c = 0; c < chunks; ++c) {
-    pool.submit([&fn, &next, n, chunk] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 4));
+  auto st = std::make_shared<ForState>();
+
+  // `fn` is only dereferenced after a successful claim, and claims are
+  // impossible once the call returns (all offsets handed out, or abort set
+  // before any unstarted helper checks it) — so helpers may safely outlive
+  // this frame while capturing `fn` by reference.
+  auto run_chunks = [&st_ref = *st, &fn, begin, n, chunk] {
+    while (!st_ref.abort.load(std::memory_order_relaxed)) {
+      const std::size_t lo = st_ref.next.fetch_add(chunk);
+      if (lo >= n) return;
+      const std::size_t hi = std::min(n, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(begin + i);
+      } catch (...) {
+        std::lock_guard lock(st_ref.mutex);
+        if (!st_ref.error) st_ref.error = std::current_exception();
+        st_ref.abort.store(true, std::memory_order_relaxed);
+        return;
       }
+    }
+  };
+
+  // One helper per worker, each looping over chunk claims. The caller
+  // participates too, so progress is guaranteed even when every pool worker
+  // is busy with unrelated (or ancestor) tasks — nested parallel_for from
+  // inside a pool task cannot deadlock.
+  const std::size_t helpers = std::min(workers, (n + chunk - 1) / chunk);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([st, run_chunks] {
+      {
+        std::lock_guard lock(st->mutex);
+        ++st->active;
+      }
+      run_chunks();
+      std::lock_guard lock(st->mutex);
+      if (--st->active == 0) st->idle.notify_all();
     });
   }
-  pool.wait_idle();
+  run_chunks();
+  // All offsets are claimed (or abort is set); wait only for helpers that
+  // actually started — ones still queued will no-op when they run.
+  std::unique_lock lock(st->mutex);
+  st->idle.wait(lock, [&st] { return st->active == 0; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+std::size_t default_thread_count() {
+  const std::uint64_t requested = env_u64("MIFO_THREADS", 0);
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(default_thread_count());
   return pool;
 }
 

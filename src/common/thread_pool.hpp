@@ -27,10 +27,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. Safe to call from inside a
+  /// running task (the new task may start before or after the caller ends).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Must not be called from
+  /// inside a pool task (the calling task counts as in flight, so it would
+  /// wait on itself); parallel_for tracks its own completions instead and
+  /// is nestable.
   void wait_idle();
 
  private:
@@ -45,13 +49,27 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run `fn(i)` for i in [0, n) across `pool`, in contiguous chunks.
-/// Blocks until all iterations complete. `fn` must be safe to call
-/// concurrently for distinct i.
-void parallel_for(ThreadPool& pool, std::size_t n,
+/// Run `fn(i)` for i in [begin, end) across `pool`, in contiguous chunks.
+/// Blocks until all iterations complete; the calling thread also executes
+/// chunks, so nesting a parallel_for inside a pool task cannot deadlock.
+/// `fn` must be safe to call concurrently for distinct i. If any iteration
+/// throws, the first exception (by completion order) is rethrown on the
+/// calling thread after the remaining workers drain; iterations not yet
+/// started are abandoned.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
-/// Shared process-wide pool (lazily constructed).
+/// Convenience overload over [0, n).
+inline void parallel_for(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  parallel_for(pool, 0, n, fn);
+}
+
+/// Worker count selected by the MIFO_THREADS environment variable;
+/// 0 / unset means std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Shared process-wide pool (lazily constructed, sized by MIFO_THREADS).
 ThreadPool& global_pool();
 
 }  // namespace mifo

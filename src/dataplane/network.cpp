@@ -104,7 +104,11 @@ PortId Network::connect_host(RouterId r, HostId h, Mbps rate, SimTime delay) {
   hh.uplink.queue_capacity_bytes = 100 * 1000;
   hh.connected = true;
 
-  rr.port(ir).peer_port = PortId(0);
+  // Hosts have exactly one uplink and no port table of their own, so there
+  // is no meaningful reverse-direction port index. Mark it invalid() rather
+  // than 0: a stale 0 would alias the router's (real) port 0 if anything
+  // ever traversed it.
+  rr.port(ir).peer_port = PortId::invalid();
   return ir;
 }
 

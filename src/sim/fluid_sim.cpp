@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "common/contracts.hpp"
-#include "sim/maxmin.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mifo::sim {
 
@@ -40,6 +41,33 @@ const bgp::DestRoutes& FluidSim::routes_for(AsId dest) {
              .first;
   }
   return *it->second;
+}
+
+void FluidSim::warm_route_cache(std::span<const traffic::FlowSpec> specs) {
+  // Unique destinations not yet cached, in sorted order (deterministic).
+  std::vector<std::uint32_t> dests;
+  dests.reserve(specs.size());
+  for (const auto& s : specs) dests.push_back(s.dst.value());
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  std::erase_if(dests,
+                [this](std::uint32_t d) { return cache_.contains(d); });
+
+  const std::size_t threads =
+      cfg_.threads != 0 ? cfg_.threads : default_thread_count();
+  if (threads <= 1 || dests.size() < 2) return;  // lazy serial path suffices
+
+  // compute_routes is pure per destination, so each slot is independent;
+  // the cache itself is only touched from this thread, after the join.
+  std::vector<std::unique_ptr<bgp::DestRoutes>> computed(dests.size());
+  ThreadPool pool(std::min(threads, dests.size()));
+  parallel_for(pool, dests.size(), [this, &dests, &computed](std::size_t i) {
+    computed[i] = std::make_unique<bgp::DestRoutes>(
+        bgp::compute_routes(g_, AsId(dests[i])));
+  });
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    cache_.emplace(dests[i], std::move(computed[i]));
+  }
 }
 
 double FluidSim::utilization(std::uint32_t link) const {
@@ -98,16 +126,16 @@ void FluidSim::recompute_rates() {
   for (const auto& f : active_) {
     for (const std::uint32_t l : f.links) alloc_[l] = 0.0;
   }
-  static thread_local std::vector<std::vector<std::uint32_t>> paths;
-  paths.clear();
-  paths.reserve(active_.size());
-  for (const auto& f : active_) paths.push_back(f.links);
+  flow_links_view_.clear();
+  flow_links_view_.reserve(active_.size());
+  for (const auto& f : active_) flow_links_view_.emplace_back(f.links);
 
   MaxMinInput in;
-  in.flow_links = paths;
+  in.flow_links = flow_links_view_;
   in.link_capacity = capacity_;
   in.flow_cap = cfg_.flow_rate_cap;
-  const auto rates = max_min_rates(in);
+  in.num_links = capacity_.size();
+  const std::span<const double> rates = max_min_rates(in, maxmin_ws_);
 
   for (std::size_t i = 0; i < active_.size(); ++i) {
     active_[i].rate = rates[i];
@@ -184,7 +212,12 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
   std::vector<FlowRecord> records(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) records[i].spec = specs[i];
 
+  warm_route_cache(specs);
+
   active_.clear();
+  // Completions tear allocations down flow by flow, which can leave tiny
+  // floating-point residues behind; start every run from exact zeros.
+  std::fill(alloc_.begin(), alloc_.end(), 0.0);
   SimTime t = 0.0;
   SimTime next_tick = cfg_.reeval_interval;
   std::size_t ai = 0;

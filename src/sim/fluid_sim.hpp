@@ -9,12 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "bgp/routing.hpp"
 #include "core/walk.hpp"
 #include "miro/miro.hpp"
+#include "sim/maxmin.hpp"
 #include "topo/as_graph.hpp"
 #include "traffic/spec.hpp"
 
@@ -50,6 +52,10 @@ struct SimConfig {
   /// Per-flow ceiling (access-link speed); the paper's flows cannot exceed
   /// one link's capacity.
   Mbps flow_rate_cap = kGigabit;
+  /// Workers for the pre-run route-cache warmup; 0 defers to MIFO_THREADS /
+  /// hardware_concurrency. Results are bit-identical at any setting (route
+  /// computation is pure per destination; only cache fill order varies).
+  std::size_t threads = 0;
   miro::MiroConfig miro{};
 };
 
@@ -83,6 +89,12 @@ class FluidSim {
   [[nodiscard]] const bgp::DestRoutes& routes_for(AsId dest);
 
  private:
+  /// Computes (in parallel, across SimConfig::threads workers) the route
+  /// trees of every uncached destination appearing in `specs`, so the event
+  /// loop never stalls on a cache miss. The lazy serial path in routes_for
+  /// remains the fallback; warmed results are byte-for-byte what it would
+  /// have produced.
+  void warm_route_cache(std::span<const traffic::FlowSpec> specs);
   struct ActiveFlow {
     std::uint32_t record = 0;           ///< index into records
     std::uint32_t dest_as = 0;
@@ -105,6 +117,10 @@ class FluidSim {
   std::vector<double> capacity_;  ///< per directed link
   std::vector<double> alloc_;    ///< per directed link, allocated Mbps
   std::vector<ActiveFlow> active_;
+  /// Solver scratch reused across ticks (allocation-free steady state).
+  MaxMinWorkspace maxmin_ws_;
+  /// Per-tick views into the active flows' link vectors for MaxMinInput.
+  std::vector<std::span<const std::uint32_t>> flow_links_view_;
 };
 
 }  // namespace mifo::sim

@@ -8,7 +8,182 @@
 
 namespace mifo::sim {
 
+std::span<const double> max_min_rates(const MaxMinInput& in,
+                                      MaxMinWorkspace& ws) {
+  const std::size_t nf = in.flow_links.size();
+  ws.rates.assign(nf, 0.0);
+  if (nf == 0) return ws.rates;
+  const std::size_t nl =
+      in.num_links != 0 ? in.num_links : in.link_capacity.size();
+
+  ws.frozen.assign(nf, 0);
+  if (ws.link_epoch.size() < nl) {
+    ws.link_epoch.resize(nl, 0);
+    ws.local_id.resize(nl);
+  }
+  if (++ws.epoch == 0) {
+    // Epoch counter wrapped: stamps from ~4G calls ago could alias the new
+    // epoch, so pay one full clear and restart.
+    std::fill(ws.link_epoch.begin(), ws.link_epoch.end(), 0u);
+    ws.epoch = 1;
+  }
+  const std::uint32_t epoch = ws.epoch;
+  ws.rem_cap.clear();
+  ws.count.clear();
+  ws.charge_stamp.clear();
+  ws.path_begin.clear();
+  ws.path_links.clear();
+  ws.path_begin.push_back(0);
+
+  // Pass 1: compact touched links into first-seen local indices and build
+  // the deduplicated path CSR. A path may cross the same link at most once
+  // per direction by construction; de-duplicate defensively (charge_stamp)
+  // so capacity is not double-charged.
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::uint32_t flow_stamp = static_cast<std::uint32_t>(f) + 1;
+    for (const std::uint32_t l : in.flow_links[f]) {
+      MIFO_EXPECTS(l < nl && l < in.link_capacity.size());
+      if (ws.link_epoch[l] != epoch) {
+        ws.link_epoch[l] = epoch;
+        ws.local_id[l] = static_cast<std::uint32_t>(ws.rem_cap.size());
+        ws.rem_cap.push_back(in.link_capacity[l]);
+        ws.count.push_back(0);
+        ws.charge_stamp.push_back(0);
+      }
+      const std::uint32_t idx = ws.local_id[l];
+      if (ws.charge_stamp[idx] == flow_stamp) continue;  // duplicate in path
+      ws.charge_stamp[idx] = flow_stamp;
+      ws.path_links.push_back(idx);
+      ++ws.count[idx];
+    }
+    ws.path_begin.push_back(static_cast<std::uint32_t>(ws.path_links.size()));
+  }
+  const std::size_t n_used = ws.rem_cap.size();
+
+  // Pass 2: invert the path CSR into a flows-per-link CSR.
+  ws.flows_begin.resize(n_used);
+  ws.flows_cursor.resize(n_used);
+  std::uint32_t cum = 0;
+  for (std::size_t l = 0; l < n_used; ++l) {
+    ws.flows_begin[l] = cum;
+    ws.flows_cursor[l] = cum;
+    cum += ws.count[l];
+  }
+  ws.flow_of.resize(cum);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::uint32_t p = ws.path_begin[f]; p < ws.path_begin[f + 1]; ++p) {
+      ws.flow_of[ws.flows_cursor[ws.path_links[p]]++] =
+          static_cast<std::uint32_t>(f);
+    }
+  }
+
+  const double cap_level = in.flow_cap > 0.0
+                               ? in.flow_cap
+                               : std::numeric_limits<double>::infinity();
+  std::size_t unfrozen = nf;
+  double level = 0.0;
+  constexpr double kEps = 1e-9;
+
+  // Flows with no links saturate immediately at the cap.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (ws.path_begin[f] == ws.path_begin[f + 1]) {
+      ws.rates[f] = in.flow_cap > 0.0 ? in.flow_cap : 0.0;
+      ws.frozen[f] = 1;
+      --unfrozen;
+    }
+  }
+
+  auto freeze_flow = [&](std::uint32_t f) {
+    if (ws.frozen[f]) return;
+    ws.frozen[f] = 1;
+    ws.rates[f] = level;
+    --unfrozen;
+    for (std::uint32_t p = ws.path_begin[f]; p < ws.path_begin[f + 1]; ++p) {
+      --ws.count[ws.path_links[p]];
+    }
+  };
+
+  // Links that still carry unfrozen flows, stably compacted each round:
+  // iteration order stays first-seen order (matching the reference solver
+  // exactly — min and per-link charging are order-exact anyway), but late
+  // rounds only touch the surviving constraint set instead of all of
+  // n_used.
+  ws.active_links.resize(n_used);
+  for (std::size_t l = 0; l < n_used; ++l) {
+    ws.active_links[l] = static_cast<std::uint32_t>(l);
+  }
+
+  while (unfrozen > 0) {
+    // Smallest uniform increment until some constraint binds.
+    double delta = cap_level - level;
+    for (const std::uint32_t l : ws.active_links) {
+      if (ws.count[l] == 0) continue;
+      delta = std::min(delta, ws.rem_cap[l] / ws.count[l]);
+    }
+    MIFO_ASSERT(delta >= 0.0);
+    level += delta;
+
+    // Charge the increment and find saturated links.
+    const bool at_cap = level >= cap_level - kEps;
+    for (const std::uint32_t l : ws.active_links) {
+      if (ws.count[l] == 0) continue;
+      ws.rem_cap[l] -= delta * ws.count[l];
+    }
+
+    // Freeze flows on saturated links (and everyone if the cap bound).
+    if (at_cap) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (!ws.frozen[f]) freeze_flow(static_cast<std::uint32_t>(f));
+      }
+      break;
+    }
+    bool froze_any = false;
+    for (const std::uint32_t l : ws.active_links) {
+      if (ws.count[l] == 0) continue;
+      if (ws.rem_cap[l] <= 1e-6) {
+        for (std::uint32_t c = ws.flows_begin[l]; c < ws.flows_cursor[l];
+             ++c) {
+          freeze_flow(ws.flow_of[c]);
+        }
+        froze_any = true;
+      }
+    }
+    // Numerical backstop: if nothing froze despite a positive delta, freeze
+    // the tightest link to guarantee progress.
+    if (!froze_any) {
+      std::uint32_t tightest = 0;
+      bool found = false;
+      double best = std::numeric_limits<double>::infinity();
+      for (const std::uint32_t l : ws.active_links) {
+        if (ws.count[l] == 0) continue;
+        if (ws.rem_cap[l] < best) {
+          best = ws.rem_cap[l];
+          tightest = l;
+          found = true;
+        }
+      }
+      if (!found) break;  // no constrained links remain
+      for (std::uint32_t c = ws.flows_begin[tightest];
+           c < ws.flows_cursor[tightest]; ++c) {
+        freeze_flow(ws.flow_of[c]);
+      }
+    }
+
+    // Stable compaction: drop links whose flows are all frozen.
+    std::erase_if(ws.active_links,
+                  [&ws](std::uint32_t l) { return ws.count[l] == 0; });
+  }
+
+  return ws.rates;
+}
+
 std::vector<double> max_min_rates(const MaxMinInput& in) {
+  MaxMinWorkspace ws;
+  const auto rates = max_min_rates(in, ws);
+  return {rates.begin(), rates.end()};
+}
+
+std::vector<double> max_min_rates_reference(const MaxMinInput& in) {
   const std::size_t nf = in.flow_links.size();
   std::vector<double> rates(nf, 0.0);
   if (nf == 0) return rates;

@@ -4,6 +4,12 @@
 // topology with long-lived greedy flows, TCP throughput converges to an
 // approximately max–min fair share of the bottleneck links, which is what
 // the paper's NS-3 runs measure at the flow level.
+//
+// The solver runs every re-evaluation tick of every FluidSim, so its hot
+// path is allocation-free: link ids are dense (AsGraph::num_directed_links
+// is the universe), and all per-link state lives in epoch-stamped arrays
+// inside a caller-owned MaxMinWorkspace that is reused across calls. Only
+// links actually referenced by a flow are ever (re-)initialised.
 #pragma once
 
 #include <cstdint>
@@ -13,18 +19,68 @@
 namespace mifo::sim {
 
 struct MaxMinInput {
-  /// One entry per flow: the directed link ids its path crosses. Flows with
-  /// empty paths receive `flow_cap`.
-  std::span<const std::vector<std::uint32_t>> flow_links;
+  /// One entry per flow: the directed link ids its path crosses (borrowed,
+  /// not copied — typically views straight into the simulator's per-flow
+  /// link vectors). Flows with empty paths receive `flow_cap`.
+  std::span<const std::span<const std::uint32_t>> flow_links;
   /// Capacity of link id l (only ids referenced by flows are read).
   std::span<const double> link_capacity;
   /// Per-flow rate ceiling (access-link speed); <=0 disables the ceiling.
   double flow_cap = 0.0;
+  /// Size of the link-id universe (ids are < num_links). 0 defaults to
+  /// link_capacity.size().
+  std::size_t num_links = 0;
 };
 
-/// Max–min fair rates, one per flow. Exact progressive filling:
-/// every flow's rate rises uniformly until its first bottleneck freezes it.
-/// O(#bottleneck-rounds * #used-links + total path length).
+/// Reusable scratch state for max_min_rates. Construct once (e.g. per
+/// FluidSim) and pass to every call; all vectors grow to a high-water mark
+/// and are never shrunk, so steady-state calls perform no allocation.
+struct MaxMinWorkspace {
+  std::vector<double> rates;  ///< per-flow output of the last call
+
+  // Per-flow scratch.
+  std::vector<std::uint8_t> frozen;
+
+  // Dense id -> compact-index mapping over the link universe, replacing the
+  // per-call hash map. `link_epoch[l] == epoch` marks local_id[l] as valid
+  // for the current call; stale entries are ignored, so per-call setup is
+  // O(links touched), not O(universe).
+  std::vector<std::uint32_t> local_id;
+  std::vector<std::uint32_t> link_epoch;
+
+  // Compact per-used-link state, indexed by local id in first-seen order so
+  // the water-filling rounds scan memory sequentially (cleared per call,
+  // capacity retained).
+  std::vector<double> rem_cap;
+  std::vector<std::uint32_t> count;         ///< unfrozen flows crossing l
+  std::vector<std::uint32_t> charge_stamp;  ///< within-flow dedup (flow+1)
+  std::vector<std::uint32_t> flows_begin;   ///< CSR offsets into flow_of
+  std::vector<std::uint32_t> flows_cursor;
+  std::vector<std::uint32_t> flow_of;       ///< CSR payload: flows per link
+  std::vector<std::uint32_t> path_begin;    ///< CSR offsets, size nf+1
+  std::vector<std::uint32_t> path_links;    ///< deduplicated per-flow links
+  /// Links still carrying unfrozen flows, stably compacted every round so
+  /// late water-filling rounds scan only the surviving constraint set.
+  std::vector<std::uint32_t> active_links;
+
+  std::uint32_t epoch = 0;
+};
+
+/// Max–min fair rates, one per flow, written into (and viewing) `ws.rates`.
+/// Exact progressive filling: every flow's rate rises uniformly until its
+/// first bottleneck freezes it.
+/// O(#bottleneck-rounds * #used-links + total path length); allocation-free
+/// once `ws` has warmed up to the instance size.
+[[nodiscard]] std::span<const double> max_min_rates(const MaxMinInput& in,
+                                                    MaxMinWorkspace& ws);
+
+/// Convenience overload with a throwaway workspace.
 [[nodiscard]] std::vector<double> max_min_rates(const MaxMinInput& in);
+
+/// Reference implementation (the original hash-map link-compaction solver),
+/// retained verbatim for differential property tests: the dense-workspace
+/// solver must return identical rates on every instance.
+[[nodiscard]] std::vector<double> max_min_rates_reference(
+    const MaxMinInput& in);
 
 }  // namespace mifo::sim

@@ -249,6 +249,68 @@ TEST(FluidSim, LateCongestionDeflectsEstablishedFlow) {
   EXPECT_GT(rec[1].throughput(), 700.0);
 }
 
+TEST(FluidSim, ParallelRouteWarmupIsBitIdenticalToSerial) {
+  // The threaded route-cache warmup must not change a single bit of the
+  // simulation outcome: compute_routes is pure per destination, so warming
+  // with 1 worker (lazy serial path) and with many workers must agree
+  // exactly, for every routing mode.
+  topo::GeneratorParams gp;
+  gp.num_ases = 250;
+  gp.seed = 11;
+  const AsGraph g = topo::generate_topology(gp);
+  traffic::TrafficParams tp;
+  tp.num_flows = 2500;
+  tp.dest_pool = 48;
+  tp.seed = 9;
+  const auto specs = traffic::uniform_traffic(g, tp);
+  const auto deployed = traffic::random_deployment(g.num_ases(), 0.5, 3);
+
+  for (const auto mode :
+       {RoutingMode::Bgp, RoutingMode::Miro, RoutingMode::Mifo}) {
+    SimConfig cfg;
+    cfg.mode = mode;
+
+    cfg.threads = 1;  // serial lazy path
+    FluidSim serial(g, cfg);
+    serial.set_deployment(deployed);
+    const auto ser = serial.run(specs);
+
+    cfg.threads = 8;  // parallel pre-warm
+    FluidSim parallel(g, cfg);
+    parallel.set_deployment(deployed);
+    const auto par = parallel.run(specs);
+
+    ASSERT_EQ(ser.size(), par.size());
+    for (std::size_t i = 0; i < ser.size(); ++i) {
+      EXPECT_EQ(ser[i].finish, par[i].finish) << i;  // bitwise, no tolerance
+      EXPECT_EQ(ser[i].completed, par[i].completed) << i;
+      EXPECT_EQ(ser[i].unreachable, par[i].unreachable) << i;
+      EXPECT_EQ(ser[i].path_switches, par[i].path_switches) << i;
+      EXPECT_EQ(ser[i].used_alternative, par[i].used_alternative) << i;
+    }
+  }
+}
+
+TEST(FluidSim, RepeatedRunsOnOneSimAreIdentical) {
+  // The reusable MaxMinWorkspace and warmed route cache carry state across
+  // run() calls; that state must never leak into results.
+  const AsGraph g = fig2a();
+  SimConfig cfg;
+  cfg.mode = RoutingMode::Mifo;
+  FluidSim sim(g, cfg);
+  sim.set_deployment(std::vector<bool>(4, true));
+  std::vector<traffic::FlowSpec> specs{
+      {AsId(1), AsId(0), 10 * kMegaByte, 0.0},
+      {AsId(1), AsId(0), 10 * kMegaByte, 0.001}};
+  const auto first = sim.run(specs);
+  const auto second = sim.run(specs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].finish, second[i].finish);
+    EXPECT_EQ(first[i].path_switches, second[i].path_switches);
+  }
+}
+
 TEST(FluidSim, RoutesForCachesPerDestination) {
   const AsGraph g = fig2a();
   SimConfig cfg;

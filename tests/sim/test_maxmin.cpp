@@ -4,16 +4,24 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
 #include "common/rng.hpp"
 
 namespace mifo::sim {
 namespace {
 
-std::vector<double> solve(std::vector<std::vector<std::uint32_t>> paths,
-                          std::vector<double> caps, double flow_cap = 0.0) {
+std::vector<std::span<const std::uint32_t>> views_of(
+    const std::vector<std::vector<std::uint32_t>>& paths) {
+  return {paths.begin(), paths.end()};
+}
+
+std::vector<double> solve(const std::vector<std::vector<std::uint32_t>>& paths,
+                          const std::vector<double>& caps,
+                          double flow_cap = 0.0) {
+  const auto views = views_of(paths);
   MaxMinInput in;
-  in.flow_links = paths;
+  in.flow_links = views;
   in.link_capacity = caps;
   in.flow_cap = flow_cap;
   return max_min_rates(in);
@@ -58,6 +66,46 @@ TEST(MaxMin, DuplicateLinkInPathChargedOnce) {
   EXPECT_NEAR(r[0], 1000.0, 1e-6);
 }
 
+TEST(MaxMin, ExplicitLinkUniverseWiderThanUsedIds) {
+  // num_links sizes the dense workspace; ids beyond the ones actually used
+  // cost nothing, and any used id must still have a capacity entry.
+  const std::vector<std::vector<std::uint32_t>> paths{{0}};
+  const auto views = views_of(paths);
+  const std::vector<double> caps{1000.0};
+  MaxMinInput in;
+  in.flow_links = views;
+  in.link_capacity = caps;
+  in.num_links = 16;  // sparse universe, only id 0 used
+  MaxMinWorkspace ws;
+  const auto r = max_min_rates(in, ws);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 1000.0, 1e-6);
+}
+
+TEST(MaxMin, WorkspaceReuseAcrossDifferentInstances) {
+  // A workspace carrying state from one instance must not leak into the
+  // next (epoch stamping) — including shrinking instances.
+  MaxMinWorkspace ws;
+  const std::vector<double> caps{100.0, 200.0, 300.0};
+
+  const std::vector<std::vector<std::uint32_t>> a{{0, 1}, {1, 2}, {2}};
+  const auto va = views_of(a);
+  MaxMinInput ia;
+  ia.flow_links = va;
+  ia.link_capacity = caps;
+  const auto ra = max_min_rates(ia, ws);
+  (void)ra;
+
+  const std::vector<std::vector<std::uint32_t>> b{{2}};
+  const auto vb = views_of(b);
+  MaxMinInput ib;
+  ib.flow_links = vb;
+  ib.link_capacity = caps;
+  const auto rb = max_min_rates(ib, ws);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_NEAR(rb[0], 300.0, 1e-6);  // full link: flow count was re-stamped
+}
+
 // Property tests on random instances.
 class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -76,8 +124,9 @@ TEST_P(MaxMinProperty, FeasibleAndBottleneckJustified) {
     }
     p.assign(links.begin(), links.end());
   }
+  const auto views = views_of(paths);
   MaxMinInput in;
-  in.flow_links = paths;
+  in.flow_links = views;
   in.link_capacity = caps;
   in.flow_cap = 1000.0;
   const auto rates = max_min_rates(in);
@@ -117,6 +166,46 @@ TEST_P(MaxMinProperty, FeasibleAndBottleneckJustified) {
       }
     }
     EXPECT_TRUE(witnessed) << "flow " << f << " rate " << rates[f];
+  }
+}
+
+// Differential property: the dense-workspace solver must return exactly the
+// rates of the retained reference implementation, at scale, across random
+// instances — reusing ONE workspace across all of them to also exercise
+// stale-state isolation between calls.
+TEST_P(MaxMinProperty, DenseSolverMatchesReferenceAtScale) {
+  Rng rng(GetParam() * 977 + 5);
+  MaxMinWorkspace ws;
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t nl = 50 + rng.bounded(500);
+    const std::size_t nf = 100 + rng.bounded(1500);
+    std::vector<double> caps(nl);
+    for (auto& c : caps) c = rng.uniform(10.0, 1000.0);
+    std::vector<std::vector<std::uint32_t>> paths(nf);
+    for (auto& p : paths) {
+      // ~3% of flows get an empty path; some paths carry duplicate ids to
+      // exercise the dedup branch.
+      if (rng.bounded(32) == 0) continue;
+      const std::size_t hops = 1 + rng.bounded(6);
+      for (std::size_t h = 0; h < hops; ++h) {
+        p.push_back(static_cast<std::uint32_t>(rng.bounded(nl)));
+      }
+      if (rng.bounded(8) == 0) p.push_back(p.front());
+    }
+    const auto views = views_of(paths);
+    MaxMinInput in;
+    in.flow_links = views;
+    in.link_capacity = caps;
+    in.flow_cap = round % 2 == 0 ? 1000.0 : 0.0;  // with and without cap
+    in.num_links = nl;
+
+    const auto dense = max_min_rates(in, ws);
+    const auto ref = max_min_rates_reference(in);
+    ASSERT_EQ(dense.size(), ref.size());
+    for (std::size_t f = 0; f < nf; ++f) {
+      // Identical arithmetic in identical order: bitwise-equal rates.
+      EXPECT_EQ(dense[f], ref[f]) << "flow " << f << " round " << round;
+    }
   }
 }
 
