@@ -22,6 +22,9 @@
 
 #include "common/env.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/artifact.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sim/metrics.hpp"
 #include "topo/analysis.hpp"
@@ -94,6 +97,119 @@ inline std::vector<sim::FlowRecord> run_sim(
   fs.set_deployment(
       traffic::random_deployment(g.num_ases(), deploy_ratio, seed * 7 + 5));
   return fs.run(specs);
+}
+
+/// One experiment arm's full result: the flow records the tables are built
+/// from, plus the observability by-products the run artifact carries.
+struct ArmResult {
+  std::string name;  ///< e.g. "MIFO@50"
+  std::string mode;
+  double deploy_ratio = 0.0;
+  std::vector<sim::FlowRecord> records;
+  obs::UtilSeries samples;
+};
+
+/// run_sim plus observability: solver counters go into `reg` (labelled
+/// `arm=<name>`), link utilization is sampled every `sample_interval`
+/// seconds (0 disables). Safe to call from run_arms workers — registry
+/// registration is thread-safe and each arm owns its shard.
+inline ArmResult run_arm(const topo::AsGraph& g,
+                         const std::vector<traffic::FlowSpec>& specs,
+                         sim::RoutingMode mode, double deploy_ratio,
+                         std::uint64_t seed, obs::Registry* reg = nullptr,
+                         SimTime sample_interval = 0.0,
+                         const std::string& name_suffix = {}) {
+  ArmResult r;
+  r.mode = sim::to_string(mode);
+  r.deploy_ratio = deploy_ratio;
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s@%.0f%s", r.mode.c_str(),
+                100.0 * deploy_ratio, name_suffix.c_str());
+  r.name = name;
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  sim::FluidSim fs(g, cfg);
+  if (reg != nullptr) fs.attach_registry(*reg, "arm=" + r.name);
+  if (sample_interval > 0.0) fs.enable_sampling(sample_interval);
+  fs.set_deployment(
+      traffic::random_deployment(g.num_ases(), deploy_ratio, seed * 7 + 5));
+  r.records = fs.run(specs);
+  r.samples = fs.samples();
+  return r;
+}
+
+/// An arm as run-artifact JSON: RunSummary fields, the drop breakdown a
+/// fluid run can have (flows, not packets), and the utilization series.
+inline obs::Json arm_json(const ArmResult& arm) {
+  const sim::RunSummary sum = sim::summarize(arm.records);
+  obs::Json a = obs::Json::object();
+  a.set("name", obs::Json::str(arm.name));
+  a.set("mode", obs::Json::str(arm.mode));
+  a.set("deploy_ratio", obs::Json::num(arm.deploy_ratio));
+  obs::Json s = obs::Json::object();
+  s.set("total", obs::Json::num(static_cast<std::uint64_t>(sum.total)));
+  s.set("completed",
+        obs::Json::num(static_cast<std::uint64_t>(sum.completed)));
+  s.set("unreachable",
+        obs::Json::num(static_cast<std::uint64_t>(sum.unreachable)));
+  s.set("mean_throughput_mbps", obs::Json::num(sum.mean_throughput));
+  s.set("median_throughput_mbps", obs::Json::num(sum.median_throughput));
+  s.set("frac_at_500mbps", obs::Json::num(sum.frac_at_500mbps));
+  s.set("offload", obs::Json::num(sum.offload));
+  a.set("summary", std::move(s));
+  const std::uint64_t incomplete = static_cast<std::uint64_t>(
+      sum.total - sum.completed - sum.unreachable);
+  a.set("drops", obs::drops_json({{"unreachable", sum.unreachable},
+                                  {"incomplete", incomplete}}));
+  a.set("utilization", obs::to_json(arm.samples));
+  return a;
+}
+
+/// Writes `<bench>.json` (schema mifo.run_artifact.v1) plus one
+/// `<bench>_<arm>_util.csv` per sampled arm, and announces the paths.
+/// No-op under MIFO_ARTIFACT_DIR=-.
+inline void emit_run_artifact(const std::string& bench_name, const Scale& s,
+                              const std::vector<ArmResult>& arms,
+                              const obs::Registry* reg = nullptr) {
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json::str("mifo.run_artifact.v1"));
+  root.set("bench", obs::Json::str(bench_name));
+  obs::Json scale = obs::Json::object();
+  scale.set("topo_n", obs::Json::num(static_cast<std::uint64_t>(s.topo_n)));
+  scale.set("flows", obs::Json::num(static_cast<std::uint64_t>(s.flows)));
+  scale.set("dest_pool",
+            obs::Json::num(static_cast<std::uint64_t>(s.dest_pool)));
+  scale.set("arrival", obs::Json::num(s.arrival));
+  scale.set("seed", obs::Json::num(static_cast<std::uint64_t>(s.seed)));
+  root.set("scale", std::move(scale));
+  obs::Json ja = obs::Json::array();
+  for (const ArmResult& arm : arms) ja.push(arm_json(arm));
+  root.set("arms", std::move(ja));
+  if (reg != nullptr) root.set("metrics", obs::to_json(reg->snapshot()));
+  const std::string path = obs::write_artifact(bench_name, root);
+  if (!path.empty()) std::printf("\nartifact: %s\n", path.c_str());
+  for (const ArmResult& arm : arms) {
+    if (arm.samples.empty()) continue;
+    std::string an = arm.name;
+    for (char& c : an) {
+      const bool alnum = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                         (c >= 'A' && c <= 'Z');
+      if (!alnum) c = '_';
+    }
+    std::vector<std::vector<double>> rows;
+    rows.reserve(arm.samples.size());
+    for (const obs::UtilSample& u : arm.samples) {
+      rows.push_back({u.t, u.mean_util, u.max_util, u.frac_congested,
+                      u.total_spare_mbps,
+                      static_cast<double>(u.active_flows)});
+    }
+    const std::string csv = obs::write_csv(
+        bench_name + "_" + an + "_util",
+        {"t", "mean_util", "max_util", "frac_congested", "total_spare_mbps",
+         "active_flows"},
+        rows);
+    if (!csv.empty()) std::printf("artifact: %s\n", csv.c_str());
+  }
 }
 
 /// Prints a Fig. 5/6-style CDF table: rows are throughput bins, columns the

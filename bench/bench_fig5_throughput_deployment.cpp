@@ -20,23 +20,25 @@ void print_fig5() {
 
   // The seven sweep arms (one BGP baseline + MIRO/MIFO per ratio) are
   // independent sims over the same const topology: run them concurrently,
-  // print in deterministic order afterwards.
+  // print in deterministic order afterwards. Solver counters and the
+  // utilization time series land in the run artifact.
   const std::vector<double> ratios{1.0, 0.5, 0.1};
-  std::vector<sim::FlowRecord> bgp;
-  std::vector<std::vector<sim::FlowRecord>> miro(ratios.size());
-  std::vector<std::vector<sim::FlowRecord>> mifo(ratios.size());
+  const SimTime sample_dt = 0.05;
+  obs::Registry reg;
+  std::vector<bench::ArmResult> results(1 + 2 * ratios.size());
   std::vector<std::function<void()>> arms;
   arms.emplace_back([&] {
-    bgp = bench::run_sim(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed);
+    results[0] = bench::run_arm(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed,
+                                &reg, sample_dt);
   });
   for (std::size_t i = 0; i < ratios.size(); ++i) {
     arms.emplace_back([&, i] {
-      miro[i] =
-          bench::run_sim(g, specs, sim::RoutingMode::Miro, ratios[i], s.seed);
+      results[1 + 2 * i] = bench::run_arm(
+          g, specs, sim::RoutingMode::Miro, ratios[i], s.seed, &reg, sample_dt);
     });
     arms.emplace_back([&, i] {
-      mifo[i] =
-          bench::run_sim(g, specs, sim::RoutingMode::Mifo, ratios[i], s.seed);
+      results[2 + 2 * i] = bench::run_arm(
+          g, specs, sim::RoutingMode::Mifo, ratios[i], s.seed, &reg, sample_dt);
     });
   }
   bench::run_arms(s.threads, arms);
@@ -46,11 +48,14 @@ void print_fig5() {
     std::snprintf(title, sizeof(title),
                   "Fig. 5: throughput CDF, uniform traffic, %.0f%% deployment",
                   100.0 * ratios[i]);
-    bench::print_throughput_cdf(
-        title, {{"BGP", &bgp}, {"MIRO", &miro[i]}, {"MIFO", &mifo[i]}});
+    bench::print_throughput_cdf(title,
+                                {{"BGP", &results[0].records},
+                                 {"MIRO", &results[1 + 2 * i].records},
+                                 {"MIFO", &results[2 + 2 * i].records}});
   }
   std::printf("\npaper (100%%): ~80%% of MIFO flows >=500 Mbps vs ~50%% MIRO;"
               " ordering MIFO > MIRO > BGP at every ratio\n");
+  bench::emit_run_artifact("fig5_throughput_deployment", s, results, &reg);
 }
 
 void BM_FluidSimMifo(benchmark::State& state) {

@@ -33,13 +33,18 @@ void print_fig6() {
       {sim::RoutingMode::Bgp, 0.0},
       {sim::RoutingMode::Miro, 0.5},
       {sim::RoutingMode::Mifo, 0.5}};
-  std::vector<std::vector<sim::FlowRecord>> recs(alphas.size() * modes.size());
+  obs::Registry reg;
+  std::vector<bench::ArmResult> results(alphas.size() * modes.size());
   std::vector<std::function<void()>> arms;
   for (std::size_t i = 0; i < alphas.size(); ++i) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ",alpha=%.1f", alphas[i]);
+    const std::string sfx = suffix;
     for (std::size_t m = 0; m < modes.size(); ++m) {
-      arms.emplace_back([&, i, m] {
-        recs[i * modes.size() + m] = bench::run_sim(
-            g, specs[i], modes[m].first, modes[m].second, s.seed);
+      arms.emplace_back([&, i, m, sfx] {
+        results[i * modes.size() + m] =
+            bench::run_arm(g, specs[i], modes[m].first, modes[m].second,
+                           s.seed, &reg, 0.05, sfx);
       });
     }
   }
@@ -51,13 +56,14 @@ void print_fig6() {
                   "Fig. 6: throughput CDF, power-law alpha=%.1f, 50%% "
                   "deployment",
                   alphas[i]);
-    bench::print_throughput_cdf(title,
-                                {{"BGP", &recs[i * modes.size()]},
-                                 {"MIRO", &recs[i * modes.size() + 1]},
-                                 {"MIFO", &recs[i * modes.size() + 2]}});
+    bench::print_throughput_cdf(
+        title, {{"BGP", &results[i * modes.size()].records},
+                {"MIRO", &results[i * modes.size() + 1].records},
+                {"MIFO", &results[i * modes.size() + 2].records}});
   }
   std::printf("\npaper (alpha=1.0): 40%% MIFO / 17%% MIRO / 7%% BGP flows "
               ">=500 Mbps; BGP degrades as skew grows\n");
+  bench::emit_run_artifact("fig6_throughput_powerlaw", s, results, &reg);
 }
 
 void BM_PowerLawTrafficGen(benchmark::State& state) {

@@ -3,6 +3,9 @@
 // The three scheme arms are independent sims and run concurrently across
 // MIFO_THREADS workers (0/unset = hardware_concurrency).
 //
+// Emits an `internet_scale.json` run artifact (schema mifo.run_artifact.v1)
+// into MIFO_ARTIFACT_DIR (default "."; "-" disables).
+//
 //   ./examples/internet_scale [num_ases] [num_flows] [deploy_ratio]
 
 #include <cstdio>
@@ -12,6 +15,8 @@
 
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/artifact.hpp"
+#include "obs/registry.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sim/metrics.hpp"
 #include "topo/analysis.hpp"
@@ -42,14 +47,21 @@ int main(int argc, char** argv) {
 
   const std::vector<sim::RoutingMode> modes{
       sim::RoutingMode::Bgp, sim::RoutingMode::Miro, sim::RoutingMode::Mifo};
+  obs::Registry reg;
   std::vector<std::vector<std::string>> rows(modes.size());
+  std::vector<sim::RunSummary> sums(modes.size());
+  std::vector<obs::UtilSeries> samples(modes.size());
   auto run_mode = [&](std::size_t i) {
     sim::SimConfig sc;
     sc.mode = modes[i];
     sim::FluidSim fs(g, sc);
+    fs.attach_registry(reg, std::string("mode=") + sim::to_string(modes[i]));
+    fs.enable_sampling(0.05);
     fs.set_deployment(deployed);
     const auto records = fs.run(flows);
-    const auto s = sim::summarize(records);
+    sums[i] = sim::summarize(records);
+    samples[i] = fs.samples();
+    const auto& s = sums[i];
     char buf[64];
     std::vector<std::string> row;
     row.emplace_back(sim::to_string(modes[i]));
@@ -74,5 +86,44 @@ int main(int argc, char** argv) {
                             "offloaded"},
                            rows)
                   .c_str());
+
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json::str("mifo.run_artifact.v1"));
+  root.set("bench", obs::Json::str("internet_scale"));
+  obs::Json scale = obs::Json::object();
+  scale.set("topo_n", obs::Json::num(static_cast<std::uint64_t>(num_ases)));
+  scale.set("flows", obs::Json::num(static_cast<std::uint64_t>(num_flows)));
+  scale.set("deploy_ratio", obs::Json::num(ratio));
+  root.set("scale", std::move(scale));
+  obs::Json arms = obs::Json::array();
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& s = sums[i];
+    obs::Json a = obs::Json::object();
+    a.set("name", obs::Json::str(sim::to_string(modes[i])));
+    a.set("mode", obs::Json::str(sim::to_string(modes[i])));
+    a.set("deploy_ratio", obs::Json::num(
+                              modes[i] == sim::RoutingMode::Bgp ? 0.0 : ratio));
+    obs::Json sum = obs::Json::object();
+    sum.set("total", obs::Json::num(static_cast<std::uint64_t>(s.total)));
+    sum.set("completed",
+            obs::Json::num(static_cast<std::uint64_t>(s.completed)));
+    sum.set("unreachable",
+            obs::Json::num(static_cast<std::uint64_t>(s.unreachable)));
+    sum.set("mean_throughput_mbps", obs::Json::num(s.mean_throughput));
+    sum.set("median_throughput_mbps", obs::Json::num(s.median_throughput));
+    sum.set("frac_at_500mbps", obs::Json::num(s.frac_at_500mbps));
+    sum.set("offload", obs::Json::num(s.offload));
+    a.set("summary", std::move(sum));
+    a.set("drops",
+          obs::drops_json(
+              {{"unreachable", s.unreachable},
+               {"incomplete", s.total - s.completed - s.unreachable}}));
+    a.set("utilization", obs::to_json(samples[i]));
+    arms.push(std::move(a));
+  }
+  root.set("arms", std::move(arms));
+  root.set("metrics", obs::to_json(reg.snapshot()));
+  const std::string path = obs::write_artifact("internet_scale", root);
+  if (!path.empty()) std::printf("\nartifact: %s\n", path.c_str());
   return 0;
 }

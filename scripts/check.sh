@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 suite in the default build, then the
+# Full verification: the tier-1 suite in the default build, example smoke
+# tests (including run-artifact schema validation), then the
 # concurrency-sensitive tests (thread pool, fluid-sim warmup) once under
 # ThreadSanitizer (MIFO_SANITIZE=thread; see the top-level CMakeLists).
 #
@@ -15,10 +16,59 @@ cmake -B "$build_dir" -S .
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
+echo "=== examples: smoke tests + artifact validation ==="
+artifact_dir="$(mktemp -d)"
+trap 'rm -rf "$artifact_dir"' EXIT
+
+"$build_dir"/examples/quickstart > /dev/null
+# rib_explorer saves mifo_topology.txt into its cwd; keep that in the tmpdir.
+rib_bin="$(cd "$build_dir" && pwd)/examples/rib_explorer"
+(cd "$artifact_dir" && "$rib_bin" > /dev/null)
+"$build_dir"/examples/convergence_demo 100 > /dev/null
+"$build_dir"/examples/testbed_demo 2 4 > /dev/null
+
+# loop_demo must show the two Algorithm-1 moments the paper hinges on:
+# the valley-free Tag-Check drop and a detected deflection return.
+loop_out="$("$build_dir"/examples/loop_demo)"
+grep -q "tag-check-FAIL" <<< "$loop_out"
+grep -q "return-detected" <<< "$loop_out"
+
+# A small internet_scale run must emit a parseable, schema-conformant
+# run artifact (docs/OBSERVABILITY.md, mifo.run_artifact.v1).
+MIFO_ARTIFACT_DIR="$artifact_dir" MIFO_THREADS=0 \
+  "$build_dir"/examples/internet_scale 200 2000 0.5 > /dev/null
+python3 - "$artifact_dir/internet_scale.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "internet_scale"
+assert {"topo_n", "flows"} <= a["scale"].keys()
+assert len(a["arms"]) == 3, [arm["name"] for arm in a["arms"]]
+for arm in a["arms"]:
+    assert {"name", "mode", "deploy_ratio", "summary", "drops",
+            "utilization"} <= arm.keys(), arm["name"]
+    s = arm["summary"]
+    assert {"total", "completed", "unreachable", "mean_throughput_mbps",
+            "median_throughput_mbps", "frac_at_500mbps",
+            "offload"} <= s.keys()
+    assert s["completed"] + s["unreachable"] <= s["total"]
+    assert arm["utilization"], "empty utilization series"
+    for smp in arm["utilization"]:
+        assert {"t", "mean_util", "max_util", "frac_congested",
+                "total_spare_mbps", "active_flows"} <= smp.keys()
+assert a["metrics"], "metrics snapshot missing"
+for m in a["metrics"]:
+    assert {"name", "kind", "value"} <= m.keys() or "bins" in m, m
+print(f"artifact OK: {len(a['arms'])} arms, "
+      f"{len(a['arms'][0]['utilization'])} samples, "
+      f"{len(a['metrics'])} metrics")
+PY
+
 echo "=== TSan: thread-pool + fluid-sim tests (${tsan_dir}) ==="
 cmake -B "$tsan_dir" -S . -DMIFO_SANITIZE=thread
 cmake --build "$tsan_dir" -j "$jobs" --target test_common test_sim
 "$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*'
 "$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
 
-echo "OK: tier-1 suite and TSan concurrency tests all passed"
+echo "OK: tier-1 suite, example smoke tests, artifact schema, and TSan all passed"

@@ -1,13 +1,22 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
 #include <mutex>
+#include <vector>
+
+#include "common/env.hpp"
 
 namespace mifo {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_io_mutex;
+// Written only by set_log_component_filter (startup / env parse, before
+// worker threads log); guarded by g_io_mutex for the read in log_line.
+std::string g_component_prefix;  // NOLINT(runtime/string)
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,17 +33,126 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Seconds since the first log statement of the process.
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// Applies MIFO_LOG exactly once, before the first threshold read.
+void init_from_env_once() {
+  static const bool done = [] {
+    const std::string spec = env_string("MIFO_LOG", "");
+    if (!spec.empty()) {
+      const LogSpec parsed = parse_log_spec(spec);
+      g_level.store(parsed.level);
+      g_component_prefix = parsed.component_prefix;
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+bool component_passes(const char* component) {
+  if (component == nullptr || g_component_prefix.empty()) return true;
+  return std::string_view(component).starts_with(g_component_prefix);
+}
+
+std::string vformat(const char* fmt, va_list args) {
+  va_list probe;
+  va_copy(probe, args);
+  char stack_buf[1024];
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, probe);
+  va_end(probe);
+  if (needed < 0) return std::string("<format error: ") + fmt + ">";
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    return std::string(stack_buf, static_cast<std::size_t>(needed));
+  }
+  // Message outgrew the stack buffer: format again at exact size rather
+  // than silently truncating.
+  std::vector<char> heap_buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args);
+  return std::string(heap_buf.data(), static_cast<std::size_t>(needed));
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  init_from_env_once();  // so a later env re-read cannot clobber this
+  g_level.store(level);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() {
+  init_from_env_once();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_component_filter(std::string prefix) {
+  std::lock_guard lock(g_io_mutex);
+  g_component_prefix = std::move(prefix);
+}
+
+bool log_enabled(LogLevel level, const char* component) {
+  if (level < log_level()) return false;
+  std::lock_guard lock(g_io_mutex);
+  return component_passes(component);
+}
+
+LogSpec parse_log_spec(const std::string& spec, LogLevel fallback) {
+  LogSpec out;
+  out.level = fallback;
+  const std::size_t colon = spec.find(':');
+  std::string level = spec.substr(0, colon);
+  if (colon != std::string::npos) {
+    out.component_prefix = spec.substr(colon + 1);
+  }
+  if (level == "debug") {
+    out.level = LogLevel::Debug;
+  } else if (level == "info") {
+    out.level = LogLevel::Info;
+  } else if (level == "warn") {
+    out.level = LogLevel::Warn;
+  } else if (level == "error") {
+    out.level = LogLevel::Error;
+  } else if (level == "off") {
+    out.level = LogLevel::Off;
+  }
+  return out;
+}
 
 namespace detail {
-void log_line(LogLevel level, const std::string& message) {
+void log_line(LogLevel level, const char* component,
+              const std::string& message) {
+  const double t = elapsed_seconds();
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[mifo %s] %s\n", level_name(level), message.c_str());
+  if (!component_passes(component)) return;
+  if (component != nullptr) {
+    std::fprintf(stderr, "[%11.6f %-5s %s] %s\n", t, level_name(level),
+                 component, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%11.6f %-5s] %s\n", t, level_name(level),
+                 message.c_str());
+  }
 }
 }  // namespace detail
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  va_list args;
+  va_start(args, fmt);
+  const std::string msg = vformat(fmt, args);
+  va_end(args);
+  detail::log_line(level, nullptr, msg);
+}
+
+void logc(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < log_level()) return;
+  va_list args;
+  va_start(args, fmt);
+  const std::string msg = vformat(fmt, args);
+  va_end(args);
+  detail::log_line(level, component, msg);
+}
 
 }  // namespace mifo

@@ -135,6 +135,15 @@ double Histogram::bin_low(std::size_t i) const {
                    static_cast<double>(counts_.size());
 }
 
+void Histogram::merge(const Histogram& other) {
+  MIFO_EXPECTS(lo_ == other.lo_ && hi_ == other.hi_);
+  MIFO_EXPECTS(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::fraction(std::size_t i) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(bin_count(i)) / static_cast<double>(total_);

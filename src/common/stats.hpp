@@ -70,6 +70,11 @@ class Histogram {
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bin_low(std::size_t i) const;
   [[nodiscard]] double fraction(std::size_t i) const;
+  [[nodiscard]] double low() const { return lo_; }
+  [[nodiscard]] double high() const { return hi_; }
+
+  /// Accumulate another histogram's counts; the binning must match.
+  void merge(const Histogram& other);
 
  private:
   double lo_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "obs/trace.hpp"
 
 namespace mifo::core {
 
@@ -25,9 +26,19 @@ void MifoDaemon::tick(dp::Network& net, SimTime now) {
   // measurement results with each other" over iBGP — modeled as the shared
   // spare[] table.
   std::vector<Mbps> spare(wiring_.egresses.size(), 0.0);
+  obs::Tracer* const tr = net.tracer();
   for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
     const auto& e = wiring_.egresses[i];
     spare[i] = monitor_.sample(net, e.router, e.port, now).spare;
+    if (tr) {
+      obs::TraceEvent ev;
+      ev.t = now;
+      ev.kind = obs::TraceKind::SpareAdvert;
+      ev.router = e.router.value();
+      ev.port = e.port.value();
+      ev.value = spare[i];
+      tr->record(ev);
+    }
   }
 
   // (2)+(3) Elect and program the best alternative per prefix.

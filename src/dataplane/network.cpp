@@ -1,8 +1,11 @@
 #include "dataplane/network.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
 
 #include "common/contracts.hpp"
+#include "obs/registry.hpp"
 
 namespace mifo::dp {
 
@@ -313,6 +316,7 @@ void Network::transmit_router(RouterId r, PortId port, Packet p) {
 void Network::transmit_host(HostId h, Packet p) {
   Host& hh = host(h);
   MIFO_EXPECTS(hh.connected);
+  ++injected_pkts_;
   enqueue_on(NodeRef::host(h), hh.uplink, 0, std::move(p));
 }
 
@@ -339,10 +343,17 @@ void Network::note_completion(FlowState& f) {
 
 void Network::deliver_to_host(HostId h, const Packet& p) {
   Host& hh = host(h);
-  if (p.dst != hh.addr) return;  // mis-delivered; drop silently
+  if (p.dst != hh.addr) {  // mis-delivered; drop (accounted, not silent)
+    ++misdelivered_pkts_;
+    return;
+  }
   // Raw packets injected by tests/tools carry flow ids with no transport
   // state; they end here.
-  if (p.flow.value() >= flows_.size()) return;
+  if (p.flow.value() >= flows_.size()) {
+    ++stale_flow_pkts_;
+    return;
+  }
+  ++delivered_pkts_;
   FlowState& f = flow(p.flow);
   if (p.kind == PacketKind::Data) {
     const std::uint32_t delivered = transport::on_data(*this, f, p);
@@ -350,6 +361,105 @@ void Network::deliver_to_host(HostId h, const Packet& p) {
   } else {
     transport::on_ack(*this, f, p);
   }
+}
+
+void Network::enable_link_sampling(SimTime interval) {
+  MIFO_EXPECTS(interval > 0.0);
+  // Byte-counter snapshots live in the closure (keyed router<<32|port), so
+  // sampling never perturbs the LinkMonitor's own windows.
+  auto snapshots =
+      std::make_shared<std::unordered_map<std::uint64_t, std::uint64_t>>();
+  add_periodic(interval, [snapshots, interval](Network& net, SimTime now) {
+    for (std::size_t r = 0; r < net.routers_.size(); ++r) {
+      Router& router = net.routers_[r];
+      for (std::size_t pi = 0; pi < router.num_ports(); ++pi) {
+        const Port& port = router.port(PortId(static_cast<std::uint32_t>(pi)));
+        if (port.kind != PortKind::Ebgp) continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(r) << 32) | pi;
+        std::uint64_t& prev = (*snapshots)[key];
+        const Bytes delta = port.bytes_sent_total - prev;
+        prev = port.bytes_sent_total;
+        const Mbps rate = to_megabits(delta) / interval;
+        obs::LinkSample s;
+        s.t = now;
+        s.router = static_cast<std::uint32_t>(r);
+        s.port = static_cast<std::uint32_t>(pi);
+        s.utilization = port.rate > 0.0 ? std::min(1.0, rate / port.rate) : 0.0;
+        s.spare_mbps = std::max(0.0, port.rate - rate);
+        s.queue_ratio = port.queue_ratio();
+        net.link_samples_.push_back(s);
+      }
+    }
+  });
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Network::drop_breakdown()
+    const {
+  const RouterCounters total = total_counters();
+  std::uint64_t overflow = 0;
+  std::uint64_t down = 0;
+  for (const auto& r : routers_) {
+    for (std::size_t pi = 0; pi < r.num_ports(); ++pi) {
+      const Port& p = r.port(PortId(static_cast<std::uint32_t>(pi)));
+      overflow += p.drops_overflow;
+      down += p.drops_down;
+    }
+  }
+  for (const auto& h : hosts_) {
+    overflow += h.uplink.drops_overflow;
+    down += h.uplink.drops_down;
+  }
+  return {
+      {"valley", total.valley_drops},   {"no_route", total.no_route_drops},
+      {"ttl", total.ttl_drops},         {"queue_overflow", overflow},
+      {"link_down", down},              {"misdelivered", misdelivered_pkts_},
+      {"stale_flow", stale_flow_pkts_},
+  };
+}
+
+std::uint64_t Network::queued_pkts() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) {
+    for (std::size_t pi = 0; pi < r.num_ports(); ++pi) {
+      n += r.port(PortId(static_cast<std::uint32_t>(pi))).queue.size();
+    }
+  }
+  for (const auto& h : hosts_) n += h.uplink.queue.size();
+  return n;
+}
+
+void Network::publish_metrics(obs::Registry& reg,
+                              const std::string& labels) const {
+  obs::Registry::Shard& shard = reg.create_shard();
+  const RouterCounters c = total_counters();
+  const auto set = [&](const char* name, std::uint64_t v) {
+    shard.set(reg.counter(name, labels), static_cast<double>(v));
+  };
+  set("dp.forwarded", c.forwarded);
+  set("dp.deflected", c.deflected);
+  set("dp.encapsulated", c.encapsulated);
+  set("dp.returned_detected", c.returned_detected);
+  set("dp.flow_switches", c.flow_switches);
+  set("dp.injected", injected_pkts_);
+  set("dp.delivered", delivered_pkts_);
+  for (const auto& [reason, count] : drop_breakdown()) {
+    shard.set(reg.counter("dp.drops", labels.empty()
+                                          ? "reason=" + reason
+                                          : labels + ",reason=" + reason),
+              static_cast<double>(count));
+  }
+  std::uint64_t bytes = 0;
+  std::uint64_t pkts = 0;
+  for (const auto& r : routers_) {
+    for (std::size_t pi = 0; pi < r.num_ports(); ++pi) {
+      const Port& p = r.port(PortId(static_cast<std::uint32_t>(pi)));
+      bytes += p.bytes_sent_total;
+      pkts += p.pkts_sent_total;
+    }
+  }
+  set("dp.port_bytes_sent", bytes);
+  set("dp.port_pkts_sent", pkts);
 }
 
 RouterCounters Network::total_counters() const {

@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -12,6 +14,12 @@
 #include "dataplane/port.hpp"
 #include "dataplane/router.hpp"
 #include "dataplane/transport.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace mifo::obs {
+class Registry;
+}
 
 namespace mifo::dp {
 
@@ -100,6 +108,50 @@ class Network {
   /// Sum of all router counters.
   [[nodiscard]] RouterCounters total_counters() const;
 
+  // --- observability -----------------------------------------------------------
+  /// Opt-in forwarding-decision tracing. The tracer must outlive the
+  /// network; nullptr (the default) disables tracing at one pointer test
+  /// per hook. Not owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Periodically sample every eBGP port's send rate, spare capacity and
+  /// queue occupancy into link_samples() (paper III-C link monitoring,
+  /// made inspectable). Call before the run; samples accumulate until the
+  /// network is destroyed.
+  void enable_link_sampling(SimTime interval);
+  [[nodiscard]] const obs::LinkSeries& link_samples() const {
+    return link_samples_;
+  }
+
+  /// Packet-conservation accounting (hosts only; raw transmit_router
+  /// injections from tests are not tracked):
+  ///   injected == delivered + misdelivered + stale_flow
+  ///             + router drops (valley/no-route/ttl)
+  ///             + port drops (overflow/down)      once queues drain.
+  [[nodiscard]] std::uint64_t injected_pkts() const { return injected_pkts_; }
+  [[nodiscard]] std::uint64_t delivered_pkts() const {
+    return delivered_pkts_;
+  }
+  [[nodiscard]] std::uint64_t misdelivered_pkts() const {
+    return misdelivered_pkts_;
+  }
+  [[nodiscard]] std::uint64_t stale_flow_pkts() const {
+    return stale_flow_pkts_;
+  }
+
+  /// Every drop bucket in the network, by reason — router counters plus
+  /// port-level overflow/down drops across routers and host uplinks.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  drop_breakdown() const;
+
+  /// Total packets currently sitting in tx queues (0 once drained).
+  [[nodiscard]] std::uint64_t queued_pkts() const;
+
+  /// Publish aggregate counters into `reg` under the given label (one
+  /// shard per call; snapshot after the run, not concurrently with it).
+  void publish_metrics(obs::Registry& reg, const std::string& labels) const;
+
  private:
   enum class EvKind : std::uint8_t {
     ArriveRouter,
@@ -150,6 +202,13 @@ class Network {
 
   SimTime bucket_width_ = 0.0;
   std::vector<Bytes> delivery_bytes_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::LinkSeries link_samples_;
+  std::uint64_t injected_pkts_ = 0;
+  std::uint64_t delivered_pkts_ = 0;
+  std::uint64_t misdelivered_pkts_ = 0;
+  std::uint64_t stale_flow_pkts_ = 0;
 
   friend class Router;
 };

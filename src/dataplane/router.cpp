@@ -1,10 +1,9 @@
 #include "dataplane/router.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "dataplane/network.hpp"
 
@@ -16,6 +15,19 @@ namespace {
 /// flow id.
 std::uint64_t pin_key(const Packet& p) {
   return hash_combine(p.flow.value(), p.dst);
+}
+
+/// Builds a packet-scoped trace event. Callers fill kind-specific fields.
+obs::TraceEvent trace_base(obs::TraceKind kind, SimTime t, RouterId router,
+                           const Packet& p) {
+  obs::TraceEvent ev;
+  ev.t = t;
+  ev.kind = kind;
+  ev.router = router.value();
+  ev.flow = p.flow.value();
+  ev.dst = p.dst;
+  ev.tag = p.mifo_tag;
+  return ev;
 }
 }  // namespace
 
@@ -39,10 +51,15 @@ void Router::emit(Network& net, PortId out, Packet p) {
   net.transmit_router(id_, out, std::move(p));
 }
 
-// Algorithm 1 — the MIFO forwarding engine.
+// Algorithm 1 — the MIFO forwarding engine. Tracing (tr) is opt-in and
+// costs one pointer test per hook when disabled.
 void Router::handle_packet(Network& net, Packet p, PortId in_port) {
+  obs::Tracer* const tr = net.tracer();
   if (p.ttl == 0) {
     ++counters_.ttl_drops;
+    if (tr && tr->wants(p.flow.value())) {
+      tr->record(trace_base(obs::TraceKind::DropTtl, net.now(), id_, p));
+    }
     return;
   }
   --p.ttl;
@@ -54,10 +71,17 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
   if (p.encapsulated) {
     if (p.outer_dst == addr_) {
       sender = decap(p);
+      if (tr && tr->wants(p.flow.value())) {
+        tr->record(trace_base(obs::TraceKind::Decap, net.now(), id_, p));
+      }
     } else {
       const auto outer = fib_.lookup(p.outer_dst);
       if (!outer) {
         ++counters_.no_route_drops;
+        if (tr && tr->wants(p.flow.value())) {
+          tr->record(
+              trace_base(obs::TraceKind::DropNoRoute, net.now(), id_, p));
+        }
         return;
       }
       emit(net, outer->out_port, std::move(p));
@@ -69,6 +93,9 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
   const auto fe = fib_.lookup(p.dst);
   if (!fe) {
     ++counters_.no_route_drops;
+    if (tr && tr->wants(p.flow.value())) {
+      tr->record(trace_base(obs::TraceKind::DropNoRoute, net.now(), id_, p));
+    }
     return;
   }
   const PortId iout = fe->out_port;
@@ -81,8 +108,20 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
     const Port& pin = port(in_port);
     if (pin.kind == PortKind::Ebgp) {
       p.mifo_tag = topo::tag_bit(pin.neighbor_rel);
+      if (tr && tr->wants(p.flow.value())) {
+        obs::TraceEvent ev =
+            trace_base(obs::TraceKind::TagSet, net.now(), id_, p);
+        ev.rel = pin.neighbor_rel;
+        tr->record(ev);
+      }
     } else if (pin.kind == PortKind::Host) {
       p.mifo_tag = true;
+      if (tr && tr->wants(p.flow.value())) {
+        obs::TraceEvent ev =
+            trace_base(obs::TraceKind::TagSet, net.now(), id_, p);
+        ev.rel = topo::Rel::Customer;  // host traffic behaves like customer
+        tr->record(ev);
+      }
     }
   }
 
@@ -95,7 +134,15 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
   // prose in Section III-B.)
   const bool returned =
       sender != kInvalidAddr && out.peer_addr == sender;
-  if (returned) ++counters_.returned_detected;
+  if (returned) {
+    ++counters_.returned_detected;
+    if (tr && tr->wants(p.flow.value())) {
+      obs::TraceEvent ev =
+          trace_base(obs::TraceKind::ReturnDetected, net.now(), id_, p);
+      ev.port = iout.value();
+      tr->record(ev);
+    }
+  }
 
   bool use_alt = returned;
 
@@ -116,15 +163,28 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
       if (admissible) {
         pins_.emplace(key, FlowPin{true, net.now()});
         out.last_pin_time = net.now();
-        if (std::getenv("MIFO_TRACE_PINS")) {
-          std::fprintf(stderr, "[%0.6f] r%u PIN flow=%llu dst=%u\n",
-                       net.now(), id_.value(),
-                       (unsigned long long)p.flow.value(), p.dst);
+        if (tr && tr->wants(p.flow.value())) {
+          obs::TraceEvent ev =
+              trace_base(obs::TraceKind::PinCreated, net.now(), id_, p);
+          ev.port = ialt.value();
+          tr->record(ev);
         }
+        logc(LogLevel::Debug, "dp.router",
+             "[%0.6f] r%u PIN flow=%llu dst=%u", net.now(), id_.value(),
+             static_cast<unsigned long long>(p.flow.value()), p.dst);
         ++counters_.flow_switches;
         use_alt = true;
       } else if (config_.drop_on_congested_no_alt) {
         ++counters_.valley_drops;  // faithful line-20 behaviour
+        if (tr && tr->wants(p.flow.value())) {
+          obs::TraceEvent fail =
+              trace_base(obs::TraceKind::TagCheckFail, net.now(), id_, p);
+          fail.rel = alt.neighbor_rel;
+          fail.port = ialt.value();
+          tr->record(fail);
+          tr->record(
+              trace_base(obs::TraceKind::DropValley, net.now(), id_, p));
+        }
         return;
       }
     }
@@ -139,12 +199,33 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
       encap(p, addr_, alt.peer_addr);
       ++counters_.encapsulated;
       ++counters_.deflected;
+      if (tr && tr->wants(p.flow.value())) {
+        obs::TraceEvent ev =
+            trace_base(obs::TraceKind::Encap, net.now(), id_, p);
+        ev.port = ialt.value();
+        tr->record(ev);
+        obs::TraceEvent defl =
+            trace_base(obs::TraceKind::Deflect, net.now(), id_, p);
+        defl.port = ialt.value();
+        tr->record(defl);
+      }
       emit(net, ialt, std::move(p));
       return;
     }
     // Lines 16–20: eBGP alternative — the Tag-Check valley-free gate.
     if (topo::check_bit(p.mifo_tag, alt.neighbor_rel)) {
       ++counters_.deflected;
+      if (tr && tr->wants(p.flow.value())) {
+        obs::TraceEvent pass =
+            trace_base(obs::TraceKind::TagCheckPass, net.now(), id_, p);
+        pass.rel = alt.neighbor_rel;
+        pass.port = ialt.value();
+        tr->record(pass);
+        obs::TraceEvent defl =
+            trace_base(obs::TraceKind::Deflect, net.now(), id_, p);
+        defl.port = ialt.value();
+        tr->record(defl);
+      }
       emit(net, ialt, std::move(p));
       return;
     }
@@ -152,6 +233,14 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
       // Returned packets must not go back to the default (cycle); without
       // an admissible alternative the packet is dropped (line 20).
       ++counters_.valley_drops;
+      if (tr && tr->wants(p.flow.value())) {
+        obs::TraceEvent fail =
+            trace_base(obs::TraceKind::TagCheckFail, net.now(), id_, p);
+        fail.rel = alt.neighbor_rel;
+        fail.port = ialt.value();
+        tr->record(fail);
+        tr->record(trace_base(obs::TraceKind::DropValley, net.now(), id_, p));
+      }
       return;
     }
     // Otherwise fall through to the default path (flow was never pinned).
@@ -160,6 +249,9 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
       // Returned packet but the daemon has since cleared the alternative:
       // dropping beats cycling between iBGP peers.
       ++counters_.valley_drops;
+      if (tr && tr->wants(p.flow.value())) {
+        tr->record(trace_base(obs::TraceKind::DropValley, net.now(), id_, p));
+      }
       return;
     }
     // A pinned flow whose alternative vanished resumes the default path.
@@ -167,6 +259,11 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
   }
 
   // Line 22: default path.
+  if (tr && tr->wants(p.flow.value())) {
+    obs::TraceEvent ev = trace_base(obs::TraceKind::Forward, net.now(), id_, p);
+    ev.port = iout.value();
+    tr->record(ev);
+  }
   emit(net, iout, std::move(p));
 }
 
@@ -200,9 +297,15 @@ void Router::reevaluate_flows(
     }
   }
   if (all_drained && !pins_.empty()) {
-    if (std::getenv("MIFO_TRACE_PINS")) {
-      std::fprintf(stderr, "[%0.6f] r%u RELEASE %zu pins\n", now,
-                   id_.value(), pins_.size());
+    logc(LogLevel::Debug, "dp.router", "[%0.6f] r%u RELEASE %zu pins", now,
+         id_.value(), pins_.size());
+    if (obs::Tracer* tr = net.tracer()) {
+      obs::TraceEvent ev;
+      ev.t = now;
+      ev.kind = obs::TraceKind::PinsReleased;
+      ev.router = id_.value();
+      ev.value = static_cast<double>(pins_.size());
+      tr->record(ev);
     }
     counters_.flow_switches += pins_.size();
     pins_.clear();

@@ -1,0 +1,282 @@
+#include "obs/artifact.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+
+namespace mifo::obs {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::str(std::string s) {
+  Json j;
+  j.kind_ = Kind::Str;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::num(double v) {
+  Json j;
+  j.kind_ = Kind::Num;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::num(std::uint64_t v) {
+  Json j;
+  j.kind_ = Kind::Num;
+  j.num_ = static_cast<double>(v);
+  j.integral_ = true;
+  return j;
+}
+
+Json Json::num(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::Num;
+  j.num_ = static_cast<double>(v);
+  j.integral_ = true;
+  return j;
+}
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  MIFO_EXPECTS(kind_ == Kind::Object);
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  MIFO_EXPECTS(kind_ == Kind::Array);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Num:
+      if (integral_ || (std::floor(num_) == num_ && std::abs(num_) < 1e15)) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(num_));
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+      }
+      out += buf;
+      break;
+    case Kind::Str:
+      escape_into(out, str_);
+      break;
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_into(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::string artifact_dir() {
+  const std::string dir = env_string("MIFO_ARTIFACT_DIR", ".");
+  return dir == "-" ? std::string() : dir;
+}
+
+namespace {
+std::string write_text_file(const std::string& name, const char* ext,
+                            const std::string& body) {
+  const std::string dir = artifact_dir();
+  if (dir.empty()) return {};
+  const std::string path = dir + "/" + name + ext;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return {};
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return path;
+}
+}  // namespace
+
+std::string write_artifact(const std::string& name, const Json& root) {
+  return write_text_file(name, ".json", root.dump(2) + "\n");
+}
+
+std::string write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows) {
+  std::string body;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) body += ',';
+    body += header[c];
+  }
+  body += '\n';
+  char buf[48];
+  for (const auto& row : rows) {
+    MIFO_EXPECTS(row.size() == header.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) body += ',';
+      std::snprintf(buf, sizeof(buf), "%.9g", row[c]);
+      body += buf;
+    }
+    body += '\n';
+  }
+  return write_text_file(name, ".csv", body);
+}
+
+Json to_json(const Snapshot& snap) {
+  Json arr = Json::array();
+  for (const auto& e : snap.scalars) {
+    Json m = Json::object();
+    m.set("name", Json::str(e.name));
+    if (!e.labels.empty()) m.set("labels", Json::str(e.labels));
+    m.set("kind", Json::str(to_string(e.kind)));
+    m.set("value", Json::num(e.value));
+    arr.push(std::move(m));
+  }
+  for (const auto& h : snap.histograms) {
+    Json m = Json::object();
+    m.set("name", Json::str(h.name));
+    if (!h.labels.empty()) m.set("labels", Json::str(h.labels));
+    m.set("kind", Json::str("histogram"));
+    m.set("lo", Json::num(h.hist.low()));
+    m.set("hi", Json::num(h.hist.high()));
+    m.set("total", Json::num(h.hist.total()));
+    Json bins = Json::array();
+    for (std::size_t i = 0; i < h.hist.bins(); ++i) {
+      bins.push(Json::num(h.hist.bin_count(i)));
+    }
+    m.set("bins", std::move(bins));
+    arr.push(std::move(m));
+  }
+  return arr;
+}
+
+Json to_json(const UtilSeries& series) {
+  Json arr = Json::array();
+  for (const auto& s : series) {
+    Json m = Json::object();
+    m.set("t", Json::num(s.t));
+    m.set("mean_util", Json::num(s.mean_util));
+    m.set("max_util", Json::num(s.max_util));
+    m.set("frac_congested", Json::num(s.frac_congested));
+    m.set("total_spare_mbps", Json::num(s.total_spare_mbps));
+    m.set("active_flows", Json::num(s.active_flows));
+    arr.push(std::move(m));
+  }
+  return arr;
+}
+
+Json to_json(const LinkSeries& series) {
+  Json arr = Json::array();
+  for (const auto& s : series) {
+    Json m = Json::object();
+    m.set("t", Json::num(s.t));
+    m.set("router", Json::num(static_cast<std::uint64_t>(s.router)));
+    m.set("port", Json::num(static_cast<std::uint64_t>(s.port)));
+    m.set("utilization", Json::num(s.utilization));
+    m.set("spare_mbps", Json::num(s.spare_mbps));
+    m.set("queue_ratio", Json::num(s.queue_ratio));
+    arr.push(std::move(m));
+  }
+  return arr;
+}
+
+Json drops_json(
+    const std::vector<std::pair<std::string, std::uint64_t>>& drops) {
+  Json obj = Json::object();
+  for (const auto& [reason, count] : drops) {
+    obj.set(reason, Json::num(count));
+  }
+  return obj;
+}
+
+}  // namespace mifo::obs

@@ -1,0 +1,74 @@
+// Machine-readable run artifacts: a dependency-free JSON tree builder plus
+// JSON/CSV file writers, so every experiment arm emits one artifact that
+// the tables, the figures and cross-commit diffing all read from the same
+// data (schema: docs/OBSERVABILITY.md, `mifo.run_artifact.v1`).
+//
+// Output location: MIFO_ARTIFACT_DIR (default "."); set it to "-" to
+// disable artifact emission entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace mifo::obs {
+
+/// Minimal JSON value: object / array / string / number / bool / null.
+/// Key order is insertion order (stable artifacts diff cleanly).
+class Json {
+ public:
+  Json() = default;  // null
+  static Json object();
+  static Json array();
+  static Json str(std::string s);
+  static Json num(double v);
+  static Json num(std::uint64_t v);
+  static Json num(std::int64_t v);
+  static Json boolean(bool b);
+
+  /// Object member access (creates the member; asserts object kind).
+  Json& set(const std::string& key, Json v);
+  /// Array append (asserts array kind).
+  Json& push(Json v);
+
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : std::uint8_t { Null, Object, Array, Str, Num, Bool };
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool integral_ = false;  ///< emit without decimal point
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+/// Directory artifacts are written to, from MIFO_ARTIFACT_DIR (default ".").
+/// Empty result means emission is disabled (MIFO_ARTIFACT_DIR=-).
+[[nodiscard]] std::string artifact_dir();
+
+/// Writes `root` as pretty-printed JSON to `<dir>/<name>.json`. Returns the
+/// path, or "" when artifacts are disabled or the file cannot be opened.
+std::string write_artifact(const std::string& name, const Json& root);
+
+/// Writes a CSV (header + numeric rows) to `<dir>/<name>.csv`; "" as above.
+std::string write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows);
+
+// --- converters into Json ---------------------------------------------------
+[[nodiscard]] Json to_json(const Snapshot& snap);
+[[nodiscard]] Json to_json(const UtilSeries& series);
+[[nodiscard]] Json to_json(const LinkSeries& series);
+
+/// Drop-reason breakdown ({reason -> count}) as a JSON object.
+[[nodiscard]] Json drops_json(
+    const std::vector<std::pair<std::string, std::uint64_t>>& drops);
+
+}  // namespace mifo::obs

@@ -1,0 +1,137 @@
+// Metrics registry: named, label-tagged counters, gauges and histograms.
+//
+// Accumulation is sharded: every producer (a FluidSim arm on a pool worker,
+// a dp::Network event loop, a bench thread) owns one Shard and increments
+// dense per-shard slots with no synchronization — safe under
+// ThreadPool::parallel_for as long as a shard has a single writer.
+// Aggregation happens only at snapshot() time, after producers quiesce
+// (benches snapshot after the arms join), by summing shards through
+// common/stats (RunningStats/Histogram merge).
+//
+// Metric identity is (name, labels); registering the same pair twice
+// returns the same id, so independent components can share a family.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace mifo::obs {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+[[nodiscard]] constexpr const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter:
+      return "counter";
+    case MetricKind::Gauge:
+      return "gauge";
+    case MetricKind::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Dense handle into every shard's slot array.
+using MetricId = std::uint32_t;
+
+/// One aggregated scalar in a snapshot.
+struct SnapshotEntry {
+  std::string name;
+  std::string labels;  ///< pre-joined "k=v,k=v" (may be empty)
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;
+};
+
+/// One aggregated histogram in a snapshot.
+struct SnapshotHistogram {
+  std::string name;
+  std::string labels;
+  Histogram hist{0.0, 1.0, 1};
+};
+
+struct Snapshot {
+  std::vector<SnapshotEntry> scalars;
+  std::vector<SnapshotHistogram> histograms;
+
+  /// First scalar matching (name, labels), or nullptr.
+  [[nodiscard]] const SnapshotEntry* find(const std::string& name,
+                                          const std::string& labels = {}) const;
+  [[nodiscard]] double value_or(const std::string& name, double fallback,
+                                const std::string& labels = {}) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Single-writer accumulator. add()/observe()/set() are unsynchronized
+  /// and O(1) into dense arrays; never share one shard between threads.
+  class Shard {
+   public:
+    void add(MetricId id, double delta = 1.0) { slot(id) += delta; }
+    void set(MetricId id, double value) { slot(id) = value; }
+    void observe(MetricId id, double sample);
+
+   private:
+    friend class Registry;
+    explicit Shard(Registry& owner) : owner_(&owner) {}
+    /// Syncs local arrays with metrics registered after this shard was
+    /// created (takes the registry mutex; amortized away on the hot path).
+    void grow_to_fit();
+    double& slot(MetricId id) {
+      if (id >= scalars_.size()) grow_to_fit();
+      return scalars_[id];
+    }
+
+    Registry* owner_;
+    std::vector<double> scalars_;           ///< indexed by MetricId
+    std::vector<std::int32_t> hist_index_;  ///< MetricId -> hists_ index, -1
+    std::vector<Histogram> hists_;
+  };
+
+  /// Register (or look up) a metric family member. Thread-safe.
+  MetricId counter(std::string name, std::string labels = {});
+  MetricId gauge(std::string name, std::string labels = {});
+  MetricId histogram(std::string name, double lo, double hi, std::size_t bins,
+                     std::string labels = {});
+
+  /// Create a new shard; the reference stays valid for the registry's
+  /// lifetime. Thread-safe (producers can register themselves lazily).
+  Shard& create_shard();
+
+  /// Sum every shard into one view. Call after producers quiesce; counters
+  /// sum, gauges sum (producers own disjoint gauges — use one shard per
+  /// logical gauge writer), histogram bins sum.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t num_metrics() const;
+
+ private:
+  struct MetricDef {
+    std::string name;
+    std::string labels;
+    MetricKind kind;
+    std::uint32_t hist_ordinal = 0;  ///< valid for Histogram kind
+    double hist_lo = 0.0, hist_hi = 1.0;
+    std::size_t hist_bins = 1;
+  };
+
+  MetricId intern(std::string name, std::string labels, MetricKind kind,
+                  double lo, double hi, std::size_t bins);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricDef> defs_;
+  std::uint32_t num_histograms_ = 0;
+  /// deque: stable element addresses as shards are added.
+  std::deque<Shard> shards_;
+};
+
+}  // namespace mifo::obs

@@ -1,0 +1,38 @@
+// Time-series sample types produced by the periodic samplers in
+// dp::Network (per-link) and sim::FluidSim (aggregate over all inter-AS
+// links), consumed by the run-artifact writer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mifo::obs {
+
+/// Aggregate inter-AS link state at one instant of a fluid-sim run. The
+/// per-link vector would be O(links × samples); the figures need the
+/// population shape, so each sample carries the distribution summary.
+struct UtilSample {
+  SimTime t = 0.0;
+  double mean_util = 0.0;        ///< mean utilization over loaded links
+  double max_util = 0.0;
+  double frac_congested = 0.0;   ///< fraction of links ≥ congest threshold
+  double total_spare_mbps = 0.0; ///< Σ max(0, capacity − alloc)
+  std::uint64_t active_flows = 0;
+};
+
+/// One (router, port) inter-AS link measurement from the packet plane.
+struct LinkSample {
+  SimTime t = 0.0;
+  std::uint32_t router = 0;
+  std::uint32_t port = 0;
+  double utilization = 0.0;  ///< send rate over the window / capacity
+  double spare_mbps = 0.0;   ///< capacity − rate, floored at 0
+  double queue_ratio = 0.0;  ///< tx-queue occupancy at sample time
+};
+
+using UtilSeries = std::vector<UtilSample>;
+using LinkSeries = std::vector<LinkSample>;
+
+}  // namespace mifo::obs

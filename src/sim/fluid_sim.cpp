@@ -32,6 +32,16 @@ void FluidSim::set_deployment(std::vector<bool> deployed) {
   deployed_ = std::move(deployed);
 }
 
+void FluidSim::attach_registry(obs::Registry& reg, const std::string& labels) {
+  m_arrivals_ = reg.counter("sim.arrivals", labels);
+  m_unreachable_ = reg.counter("sim.unreachable", labels);
+  m_completions_ = reg.counter("sim.completions", labels);
+  m_ticks_ = reg.counter("sim.ticks", labels);
+  m_solver_runs_ = reg.counter("sim.solver_runs", labels);
+  m_reroutes_ = reg.counter("sim.reroutes", labels);
+  shard_ = &reg.create_shard();
+}
+
 const bgp::DestRoutes& FluidSim::routes_for(AsId dest) {
   auto it = cache_.find(dest.value());
   if (it == cache_.end()) {
@@ -141,6 +151,7 @@ void FluidSim::recompute_rates() {
     active_[i].rate = rates[i];
     for (const std::uint32_t l : active_[i].links) alloc_[l] += rates[i];
   }
+  if (shard_) shard_->add(m_solver_runs_);
 }
 
 void FluidSim::reevaluate_paths(std::vector<FlowRecord>& records) {
@@ -195,6 +206,7 @@ void FluidSim::reevaluate_paths(std::vector<FlowRecord>& records) {
         f.deflected = w.deflections > 0;
         ++rec.path_switches;
         rec.used_alternative = rec.used_alternative || f.deflected;
+        if (shard_) shard_->add(m_reroutes_);
       }
     }
 
@@ -202,6 +214,28 @@ void FluidSim::reevaluate_paths(std::vector<FlowRecord>& records) {
     // the shifted load.
     for (const std::uint32_t l : f.links) alloc_[l] += f.rate;
   }
+}
+
+void FluidSim::take_sample(SimTime t) {
+  obs::UtilSample s;
+  s.t = t;
+  double sum = 0.0;
+  std::uint32_t loaded = 0;
+  std::uint32_t congested = 0;
+  for (std::size_t l = 0; l < alloc_.size(); ++l) {
+    if (alloc_[l] <= 0.0) continue;
+    const double u = alloc_[l] / capacity_[l];
+    ++loaded;
+    sum += u;
+    s.max_util = std::max(s.max_util, u);
+    if (u >= cfg_.congest_threshold) ++congested;
+    s.total_spare_mbps += std::max(0.0, capacity_[l] - alloc_[l]);
+  }
+  s.mean_util = loaded != 0 ? sum / loaded : 0.0;
+  s.frac_congested =
+      loaded != 0 ? static_cast<double>(congested) / loaded : 0.0;
+  s.active_flows = static_cast<std::uint32_t>(active_.size());
+  samples_.push_back(s);
 }
 
 std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
@@ -218,6 +252,8 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
   // Completions tear allocations down flow by flow, which can leave tiny
   // floating-point residues behind; start every run from exact zeros.
   std::fill(alloc_.begin(), alloc_.end(), 0.0);
+  samples_.clear();
+  next_sample_ = sample_interval_;
   SimTime t = 0.0;
   SimTime next_tick = cfg_.reeval_interval;
   std::size_t ai = 0;
@@ -241,6 +277,14 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
     if (dt > 0.0) {
       for (auto& f : active_) f.remaining_mb -= f.rate * dt;
     }
+    // Utilization samples describe the interval just advanced (alloc_ still
+    // holds the rates that were in force over [t, t_next]).
+    if (sample_interval_ > 0.0) {
+      while (next_sample_ <= t_next + kTimeEps) {
+        take_sample(next_sample_);
+        next_sample_ += sample_interval_;
+      }
+    }
     t = t_next;
 
     bool changed = false;
@@ -251,6 +295,7 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
         FlowRecord& rec = records[active_[i].record];
         rec.completed = true;
         rec.finish = t;
+        if (shard_) shard_->add(m_completions_);
         for (const std::uint32_t l : active_[i].links) {
           alloc_[l] -= active_[i].rate;
         }
@@ -268,9 +313,11 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
       core::WalkResult w = route_flow(spec.src, spec.dst);
       if (!w.reachable) {
         records[ai].unreachable = true;
+        if (shard_) shard_->add(m_unreachable_);
         ++ai;
         continue;
       }
+      if (shard_) shard_->add(m_arrivals_);
       ActiveFlow f;
       f.record = static_cast<std::uint32_t>(ai);
       f.dest_as = spec.dst.value();
@@ -294,6 +341,7 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
 
     // Re-evaluation tick.
     if (t_tick < kInf && t >= t_tick - kTimeEps) {
+      if (shard_) shard_->add(m_ticks_);
       reevaluate_paths(records);
       changed = true;
       while (next_tick <= t + kTimeEps) next_tick += cfg_.reeval_interval;

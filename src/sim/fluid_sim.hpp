@@ -16,6 +16,8 @@
 #include "bgp/routing.hpp"
 #include "core/walk.hpp"
 #include "miro/miro.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/maxmin.hpp"
 #include "topo/as_graph.hpp"
 #include "traffic/spec.hpp"
@@ -88,6 +90,19 @@ class FluidSim {
   /// Converged routes towards `dest` (cached; exposed for tests).
   [[nodiscard]] const bgp::DestRoutes& routes_for(AsId dest);
 
+  // --- observability ---------------------------------------------------------
+  /// Attach a metrics registry; solver counters (sim.arrivals, sim.ticks,
+  /// sim.solver_runs, …) accumulate into a private shard tagged with
+  /// `labels` (e.g. "mode=MIFO,ratio=0.5"). The registry must outlive the
+  /// sim; snapshot after run(), not concurrently.
+  void attach_registry(obs::Registry& reg, const std::string& labels);
+
+  /// Periodically record aggregate link-utilization samples during run()
+  /// (mean/max utilization over loaded links, congested fraction, total
+  /// spare, active flow count). 0 disables (the default).
+  void enable_sampling(SimTime interval) { sample_interval_ = interval; }
+  [[nodiscard]] const obs::UtilSeries& samples() const { return samples_; }
+
  private:
   /// Computes (in parallel, across SimConfig::threads workers) the route
   /// trees of every uncached destination appearing in `specs`, so the event
@@ -109,6 +124,7 @@ class FluidSim {
   [[nodiscard]] core::WalkResult route_flow(AsId src, AsId dest);
   void recompute_rates();
   void reevaluate_paths(std::vector<FlowRecord>& records);
+  void take_sample(SimTime t);
 
   const topo::AsGraph& g_;
   SimConfig cfg_;
@@ -121,6 +137,18 @@ class FluidSim {
   MaxMinWorkspace maxmin_ws_;
   /// Per-tick views into the active flows' link vectors for MaxMinInput.
   std::vector<std::span<const std::uint32_t>> flow_links_view_;
+
+  // Observability (all optional; zero-cost when unattached/disabled).
+  obs::Registry::Shard* shard_ = nullptr;
+  obs::MetricId m_arrivals_ = 0;
+  obs::MetricId m_unreachable_ = 0;
+  obs::MetricId m_completions_ = 0;
+  obs::MetricId m_ticks_ = 0;
+  obs::MetricId m_solver_runs_ = 0;
+  obs::MetricId m_reroutes_ = 0;
+  SimTime sample_interval_ = 0.0;
+  SimTime next_sample_ = 0.0;
+  obs::UtilSeries samples_;
 };
 
 }  // namespace mifo::sim

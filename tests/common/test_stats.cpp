@@ -43,6 +43,32 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeMatchesSinglePassOnRandomSplits) {
+  // Split the same stream at random points; merged halves must agree with
+  // the single-pass accumulation regardless of where the cut lands.
+  Rng rng(11);
+  std::vector<double> xs;
+  xs.reserve(2000);
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.uniform(-1e3, 1e3));
+  RunningStats all;
+  for (const double x : xs) all.add(x);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.bounded(xs.size() + 1));
+    RunningStats a;
+    RunningStats b;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < cut ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-8);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_NEAR(a.sum(), all.sum(), 1e-6);
+  }
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a;
   a.add(1.0);
@@ -72,6 +98,33 @@ TEST(Cdf, Quantiles) {
   EXPECT_NEAR(cdf.quantile(0.0), 1.0, 1e-9);
   EXPECT_NEAR(cdf.quantile(1.0), 100.0, 1e-9);
   EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+}
+
+TEST(Cdf, EmptyIsSafeExceptQuantile) {
+  const Cdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.at(42.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(42.0), 0.0);
+  // quantile() contracts on non-empty input; no call here.
+}
+
+TEST(Cdf, SingleElementQuantiles) {
+  Cdf cdf;
+  cdf.add(7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.at(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(7.1), 0.0);
+}
+
+TEST(Cdf, FractionAtLeastBoundaryIsInclusive) {
+  Cdf cdf;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(2.0), 0.75);  // both 2.0s count
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(3.0), 0.25);
 }
 
 TEST(Cdf, TableMonotone) {
@@ -107,6 +160,21 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
   EXPECT_DOUBLE_EQ(h.bin_low(1), 1.0);
+}
+
+TEST(Histogram, MergeSumsBins) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(9.0);
+  b.add(1.5);
+  b.add(-3.0);  // clamps into bin 0
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin_count(0), 3u);
+  EXPECT_EQ(a.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(a.low(), 0.0);
+  EXPECT_DOUBLE_EQ(a.high(), 10.0);
 }
 
 TEST(IntCounter, CountsAndFractions) {

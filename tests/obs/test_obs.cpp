@@ -1,0 +1,310 @@
+// Observability subsystem tests: metrics registry (sharded accumulation,
+// snapshot merging, thread safety under parallel_for), the forwarding-event
+// tracer (ring bounds, per-flow filter), the JSON builder and the artifact
+// writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/artifact.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace mifo::obs {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, CounterAccumulatesAcrossShards) {
+  Registry reg;
+  const MetricId c = reg.counter("test.count");
+  Registry::Shard& s1 = reg.create_shard();
+  Registry::Shard& s2 = reg.create_shard();
+  s1.add(c);
+  s1.add(c, 2.0);
+  s2.add(c, 4.0);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("test.count", -1.0), 7.0);
+}
+
+TEST(Registry, SameNameAndLabelsShareAnId) {
+  Registry reg;
+  const MetricId a = reg.counter("x", "k=1");
+  const MetricId b = reg.counter("x", "k=1");
+  const MetricId c = reg.counter("x", "k=2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(reg.num_metrics(), 2u);
+}
+
+TEST(Registry, LabelsKeepFamiliesApartInSnapshots) {
+  Registry reg;
+  const MetricId a = reg.counter("dp.drops", "reason=valley");
+  const MetricId b = reg.counter("dp.drops", "reason=ttl");
+  Registry::Shard& s = reg.create_shard();
+  s.add(a, 3.0);
+  s.add(b, 5.0);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("dp.drops", -1.0, "reason=valley"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("dp.drops", -1.0, "reason=ttl"), 5.0);
+  EXPECT_EQ(snap.find("dp.drops", "reason=nope"), nullptr);
+}
+
+TEST(Registry, GaugeSetAndSnapshot) {
+  Registry reg;
+  const MetricId g = reg.gauge("test.level");
+  Registry::Shard& s = reg.create_shard();
+  s.set(g, 2.5);
+  s.set(g, 4.5);  // last write wins within a shard
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("test.level", -1.0), 4.5);
+}
+
+TEST(Registry, HistogramObserveMergesBins) {
+  Registry reg;
+  const MetricId h = reg.histogram("test.lat", 0.0, 10.0, 5);
+  Registry::Shard& s1 = reg.create_shard();
+  Registry::Shard& s2 = reg.create_shard();
+  s1.observe(h, 1.0);   // bin 0
+  s2.observe(h, 9.0);   // bin 4
+  s2.observe(h, 99.0);  // clamps to bin 4
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const Histogram& hist = snap.histograms[0].hist;
+  EXPECT_EQ(hist.total(), 3u);
+  EXPECT_EQ(hist.bin_count(0), 1u);
+  EXPECT_EQ(hist.bin_count(4), 2u);
+}
+
+TEST(Registry, MetricRegisteredAfterShardCreationStillCounts) {
+  Registry reg;
+  Registry::Shard& s = reg.create_shard();
+  const MetricId late = reg.counter("test.late");
+  s.add(late, 2.0);  // shard grows lazily to fit the new id
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("test.late", -1.0), 2.0);
+}
+
+TEST(Registry, OneShardPerWorkerUnderParallelFor) {
+  // The intended concurrent pattern: workers register their shard up front
+  // and accumulate without synchronization; snapshot() after the join sees
+  // every increment exactly once.
+  Registry reg;
+  const MetricId c = reg.counter("par.count");
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kPerWorker = 10000;
+  std::vector<Registry::Shard*> shards;
+  shards.reserve(kWorkers);
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    shards.push_back(&reg.create_shard());
+  }
+  ThreadPool pool(kWorkers);
+  parallel_for(pool, kWorkers, [&](std::size_t w) {
+    for (std::size_t i = 0; i < kPerWorker; ++i) shards[w]->add(c);
+  });
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("par.count", -1.0),
+                   static_cast<double>(kWorkers * kPerWorker));
+}
+
+TEST(Registry, ConcurrentRegistrationAndShardCreationIsSafe) {
+  // Arms registering their own labelled metrics mid-flight (the bench
+  // pattern) must not race; every arm's count survives.
+  Registry reg;
+  constexpr std::size_t kArms = 8;
+  ThreadPool pool(kArms);
+  parallel_for(pool, kArms, [&](std::size_t a) {
+    const MetricId id =
+        reg.counter("arm.count", "arm=" + std::to_string(a));
+    Registry::Shard& s = reg.create_shard();
+    for (int i = 0; i < 1000; ++i) s.add(id);
+  });
+  const Snapshot snap = reg.snapshot();
+  for (std::size_t a = 0; a < kArms; ++a) {
+    EXPECT_DOUBLE_EQ(
+        snap.value_or("arm.count", -1.0, "arm=" + std::to_string(a)), 1000.0);
+  }
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TraceEvent ev_for_flow(std::uint64_t flow) {
+  TraceEvent ev;
+  ev.kind = TraceKind::Forward;
+  ev.flow = flow;
+  return ev;
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tr(8);
+  for (std::uint64_t i = 0; i < 5; ++i) tr.record(ev_for_flow(i));
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(evs[i].flow, i);
+  EXPECT_EQ(tr.overwritten(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCounts) {
+  Tracer tr(4);
+  for (std::uint64_t i = 0; i < 10; ++i) tr.record(ev_for_flow(i));
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-to-newest: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(evs[i].flow, 6 + i);
+  EXPECT_EQ(tr.overwritten(), 6u);
+}
+
+TEST(Tracer, FlowFilter) {
+  Tracer tr(16);
+  EXPECT_TRUE(tr.wants(1));
+  EXPECT_TRUE(tr.wants(2));
+  tr.set_flow_filter(1);
+  EXPECT_TRUE(tr.wants(1));
+  EXPECT_FALSE(tr.wants(2));
+  EXPECT_TRUE(tr.wants(kNoTraceFlow));  // control-plane events always pass
+  tr.clear_flow_filter();
+  EXPECT_TRUE(tr.wants(2));
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tr(4);
+  for (int i = 0; i < 6; ++i) tr.record(ev_for_flow(1));
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+  EXPECT_EQ(tr.overwritten(), 0u);
+}
+
+TEST(Tracer, DescribeMentionsTheKind) {
+  TraceEvent ev;
+  ev.kind = TraceKind::TagCheckFail;
+  ev.tag = false;
+  ev.rel = topo::Rel::Peer;
+  const std::string s = Tracer::describe(ev);
+  EXPECT_NE(s.find("tag-check-FAIL"), std::string::npos) << s;
+  ev.kind = TraceKind::ReturnDetected;
+  EXPECT_NE(Tracer::describe(ev).find("return-detected"), std::string::npos);
+}
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, DumpCompact) {
+  Json root = Json::object();
+  root.set("a", Json::num(std::uint64_t{1}));
+  root.set("b", Json::str("x\"y"));
+  root.set("c", Json::boolean(true));
+  Json arr = Json::array();
+  arr.push(Json::num(1.5));
+  arr.push(Json());
+  root.set("d", std::move(arr));
+  EXPECT_EQ(root.dump(), R"({"a":1,"b":"x\"y","c":true,"d":[1.5,null]})");
+}
+
+TEST(Json, KeyOrderIsInsertionOrder) {
+  Json root = Json::object();
+  root.set("zzz", Json::num(std::uint64_t{1}));
+  root.set("aaa", Json::num(std::uint64_t{2}));
+  const std::string s = root.dump();
+  EXPECT_LT(s.find("zzz"), s.find("aaa"));
+}
+
+TEST(Json, IndentedDumpIsValidShape) {
+  Json root = Json::object();
+  root.set("k", Json::num(42.0));
+  const std::string s = root.dump(2);
+  EXPECT_NE(s.find("{\n  \"k\": 42\n}"), std::string::npos) << s;
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json::num(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+// --- artifact writers -------------------------------------------------------
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "mifo_obs_artifacts";
+    std::string cmd = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    ::setenv("MIFO_ARTIFACT_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override { ::unsetenv("MIFO_ARTIFACT_DIR"); }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ArtifactTest, WriteArtifactRoundTrips) {
+  Json root = Json::object();
+  root.set("schema", Json::str("mifo.run_artifact.v1"));
+  root.set("n", Json::num(std::uint64_t{3}));
+  const std::string path = write_artifact("unit_test_artifact", root);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir_ + "/unit_test_artifact.json");
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"schema\": \"mifo.run_artifact.v1\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"n\": 3"), std::string::npos);
+}
+
+TEST_F(ArtifactTest, WriteCsvEmitsHeaderAndRows) {
+  const std::string path =
+      write_csv("unit_test_series", {"t", "v"}, {{0.5, 1.0}, {1.0, 2.5}});
+  ASSERT_FALSE(path.empty());
+  const std::string body = slurp(path);
+  EXPECT_EQ(body, "t,v\n0.5,1\n1,2.5\n");
+}
+
+TEST_F(ArtifactTest, DashDisablesEmission) {
+  ::setenv("MIFO_ARTIFACT_DIR", "-", 1);
+  EXPECT_TRUE(artifact_dir().empty());
+  EXPECT_TRUE(write_artifact("nope", Json::object()).empty());
+  EXPECT_TRUE(write_csv("nope", {"a"}, {}).empty());
+}
+
+TEST_F(ArtifactTest, SnapshotToJsonCarriesLabelsAndKinds) {
+  Registry reg;
+  const MetricId c = reg.counter("x", "k=v");
+  reg.create_shard().add(c, 2.0);
+  const std::string s = to_json(reg.snapshot()).dump();
+  EXPECT_NE(s.find("\"labels\":\"k=v\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"kind\":\"counter\""), std::string::npos) << s;
+}
+
+// --- log spec parsing (MIFO_LOG) --------------------------------------------
+
+TEST(LogSpec, ParsesLevelAndComponent) {
+  const LogSpec spec = parse_log_spec("debug:dp.router", LogLevel::Info);
+  EXPECT_EQ(spec.level, LogLevel::Debug);
+  EXPECT_EQ(spec.component_prefix, "dp.router");
+}
+
+TEST(LogSpec, LevelOnly) {
+  const LogSpec spec = parse_log_spec("warn", LogLevel::Info);
+  EXPECT_EQ(spec.level, LogLevel::Warn);
+  EXPECT_TRUE(spec.component_prefix.empty());
+}
+
+TEST(LogSpec, UnknownLevelFallsBack) {
+  const LogSpec spec = parse_log_spec("chatty:dp", LogLevel::Error);
+  EXPECT_EQ(spec.level, LogLevel::Error);
+  EXPECT_EQ(spec.component_prefix, "dp");
+}
+
+TEST(LogSpec, OffSilencesEverything) {
+  EXPECT_EQ(parse_log_spec("off", LogLevel::Info).level, LogLevel::Off);
+}
+
+}  // namespace
+}  // namespace mifo::obs
