@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 suite in the default build, example smoke
-# tests (including run-artifact schema validation), then the
-# concurrency-sensitive tests (thread pool, fluid-sim warmup) once under
-# ThreadSanitizer (MIFO_SANITIZE=thread; see the top-level CMakeLists).
+# tests (including run-artifact schema validation), the static
+# forwarding-state verifier (tools/mifo-verify, docs/VERIFICATION.md), the
+# clang-tidy pass (scripts/lint.sh — skipped when LLVM is absent), then the
+# concurrency-sensitive tests once under ThreadSanitizer and the whole
+# suite once under UBSan (MIFO_SANITIZE; see the top-level CMakeLists).
 #
-#   scripts/check.sh [build_dir] [tsan_build_dir]
+#   scripts/check.sh [build_dir] [tsan_build_dir] [ubsan_build_dir]
 set -euo pipefail
 
 build_dir="${1:-build}"
 tsan_dir="${2:-build-tsan}"
+ubsan_dir="${3:-build-ubsan}"
 jobs="$(nproc)"
 
 echo "=== tier-1: build + ctest (${build_dir}) ==="
@@ -65,10 +68,38 @@ print(f"artifact OK: {len(a['arms'])} arms, "
       f"{len(a['metrics'])} metrics")
 PY
 
+echo "=== mifo-verify: static loop-freedom proofs ==="
+# The rib_explorer topology dump from the smoke test above, plus a fresh
+# power-law topology, must both verify LOOP-FREE and lint-clean.
+"$build_dir"/tools/mifo-verify -q --topo "$artifact_dir/mifo_topology.txt" \
+  --dests 4
+"$build_dir"/tools/mifo-verify -q --gen 300 --seed 11 --dests 8
+# Negative control: a planted Eq.3 violation must be caught with a concrete
+# router-level counterexample cycle (nonzero exit).
+if mutated_out="$("$build_dir"/tools/mifo-verify --gen 120 --seed 7 \
+    --dests 4 --mutate-valley)"; then
+  echo "mifo-verify missed the planted cycle"
+  exit 1
+fi
+grep -q "COUNTEREXAMPLE" <<< "$mutated_out"
+grep -q "verdict: CYCLE-FOUND" <<< "$mutated_out"
+echo "verifier OK: both topologies proved loop-free, planted cycle caught"
+
+echo "=== clang-tidy (scripts/lint.sh) ==="
+scripts/lint.sh "$build_dir"
+
 echo "=== TSan: thread-pool + fluid-sim tests (${tsan_dir}) ==="
 cmake -B "$tsan_dir" -S . -DMIFO_SANITIZE=thread
 cmake --build "$tsan_dir" -j "$jobs" --target test_common test_sim
 "$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*'
 "$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
 
-echo "OK: tier-1 suite, example smoke tests, artifact schema, and TSan all passed"
+echo "=== UBSan: full test suite (${ubsan_dir}) ==="
+# -fno-sanitize-recover=all is wired in by the CMakeLists, so any UB aborts
+# the test binary: green here means UB-free on every exercised path.
+cmake -B "$ubsan_dir" -S . -DMIFO_SANITIZE=undefined
+cmake --build "$ubsan_dir" -j "$jobs"
+ctest --test-dir "$ubsan_dir" --output-on-failure -j "$jobs"
+
+echo "OK: tier-1 suite, example smoke tests, artifact schema, verifier," \
+     "lint, TSan, and UBSan all passed"

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/route.hpp"
@@ -26,6 +27,10 @@ class DestRoutes {
   /// The AS's best (default) route; `cls == Self` at the destination itself
   /// and `None` where the destination is unreachable.
   [[nodiscard]] const Route& best(AsId as) const;
+
+  /// Read-only view of every AS's best route, indexed by AS id — the
+  /// static verifier's bulk-introspection hook (no copies).
+  [[nodiscard]] std::span<const Route> all() const { return best_; }
 
   [[nodiscard]] std::size_t num_ases() const { return best_.size(); }
 

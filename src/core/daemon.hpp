@@ -10,6 +10,7 @@
 //   4. runs the routers' flow re-evaluation (hysteresis back to defaults).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/link_monitor.hpp"
@@ -65,6 +66,12 @@ class MifoDaemon {
   [[nodiscard]] AsId elected_alt(dp::Addr prefix) const;
 
   [[nodiscard]] const AsWiring& wiring() const { return wiring_; }
+
+  /// Read-only view of the per-prefix RIB knowledge this daemon programs
+  /// alt ports from — the verifier's FIB/RIB consistency lints read this.
+  [[nodiscard]] std::span<const PrefixRoutes> prefixes() const {
+    return prefixes_;
+  }
 
  private:
   void program_alt(dp::Network& net, const PrefixRoutes& pr, AsId choice);

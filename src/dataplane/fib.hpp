@@ -32,7 +32,16 @@ class Fib {
 
   [[nodiscard]] std::optional<FibEntry> lookup(Addr dst) const;
 
+  [[nodiscard]] bool contains(Addr dst) const { return table_.contains(dst); }
+
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// Number of entries with a programmed alternative (verifier/CLI hook).
+  [[nodiscard]] std::size_t num_alt_routes() const {
+    std::size_t n = 0;
+    for (const auto& [dst, fe] : table_) n += fe.alt_port.valid() ? 1 : 0;
+    return n;
+  }
 
   /// Iteration support for the daemon's refresh pass.
   [[nodiscard]] auto begin() const { return table_.begin(); }

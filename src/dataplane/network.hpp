@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <queue>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,8 @@ class Network {
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
   [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  /// Read-only view of every router, in RouterId order (verifier hook).
+  [[nodiscard]] std::span<const Router> routers() const { return routers_; }
   [[nodiscard]] Router& router(RouterId r);
   [[nodiscard]] const Router& router(RouterId r) const;
   [[nodiscard]] Host& host(HostId h);

@@ -159,6 +159,7 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
                net.now() - out.last_pin_time >= config_.pin_cooldown) {
       const Port& alt = port(ialt);
       const bool admissible = alt.kind == PortKind::Ibgp ||
+                              !config_.enforce_tag_check ||
                               topo::check_bit(p.mifo_tag, alt.neighbor_rel);
       if (admissible) {
         pins_.emplace(key, FlowPin{true, net.now()});
@@ -213,7 +214,8 @@ void Router::handle_packet(Network& net, Packet p, PortId in_port) {
       return;
     }
     // Lines 16–20: eBGP alternative — the Tag-Check valley-free gate.
-    if (topo::check_bit(p.mifo_tag, alt.neighbor_rel)) {
+    if (!config_.enforce_tag_check ||
+        topo::check_bit(p.mifo_tag, alt.neighbor_rel)) {
       ++counters_.deflected;
       if (tr && tr->wants(p.flow.value())) {
         obs::TraceEvent pass =

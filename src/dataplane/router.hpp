@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,11 @@ struct RouterConfig {
   /// egress deflects within microseconds and the load see-saws between the
   /// default and the alternative.
   SimTime pin_cooldown = 0.01;
+  /// Ablation knob for the paper's "one more bit is enough" rule: when
+  /// false, eBGP deflection skips the Eq. 3 Tag-Check entirely (Fig. 2(a)
+  /// loops become reachable again). The static verifier models the same
+  /// flag, so verifier verdict and packet behaviour stay comparable.
+  bool enforce_tag_check = true;
 };
 
 struct RouterCounters {
@@ -73,6 +79,9 @@ class Router {
   [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
   [[nodiscard]] Port& port(PortId p);
   [[nodiscard]] const Port& port(PortId p) const;
+  /// Read-only view of all ports, in PortId order. The static verifier
+  /// (src/verify/) walks this to enumerate possible ingress tag states.
+  [[nodiscard]] std::span<const Port> ports() const { return ports_; }
   /// Used by Network while wiring topology.
   PortId add_port(Port port);
 

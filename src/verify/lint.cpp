@@ -1,0 +1,167 @@
+#include "verify/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "bgp/routing.hpp"
+#include "topo/analysis.hpp"
+
+namespace mifo::verify {
+
+const char* to_string(LintKind k) {
+  switch (k) {
+    case LintKind::AltEqualsDefault:
+      return "alt-equals-default";
+    case LintKind::AltMissingFromRib:
+      return "alt-missing-from-rib";
+    case LintKind::ExportViolation:
+      return "export-violation";
+    case LintKind::AsymmetricRelationship:
+      return "asymmetric-relationship";
+  }
+  return "?";
+}
+
+std::string LintIssue::to_string() const {
+  std::ostringstream os;
+  os << "[" << verify::to_string(kind) << "]";
+  if (as.valid()) os << " AS" << as.value();
+  if (router.valid()) os << " r" << router.value();
+  if (dst != dp::kInvalidAddr) os << " dst=" << dst;
+  os << ": " << detail;
+  return os.str();
+}
+
+std::vector<LintIssue> lint_topology(const topo::AsGraph& g) {
+  std::vector<LintIssue> issues;
+  for (const auto& asym : topo::relationship_asymmetries(g)) {
+    LintIssue issue;
+    issue.kind = LintKind::AsymmetricRelationship;
+    issue.as = asym.a;
+    std::ostringstream os;
+    os << "AS" << asym.a.value() << " sees AS" << asym.b.value() << " as "
+       << topo::to_string(asym.a_sees_b) << " but the reverse direction is "
+       << (asym.b_sees_a ? topo::to_string(*asym.b_sees_a) : "missing");
+    issue.detail = os.str();
+    issues.push_back(std::move(issue));
+  }
+  return issues;
+}
+
+std::vector<LintIssue> lint_deployment(
+    const dp::Network& net, const topo::AsGraph& g,
+    std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
+    std::span<const std::pair<dp::Addr, AsId>> prefix_owners) {
+  std::vector<LintIssue> issues;
+
+  std::unordered_map<dp::Addr, AsId> owner;
+  for (const auto& [prefix, as] : prefix_owners) owner.emplace(prefix, as);
+
+  // Converged routes are recomputed per destination AS once and shared
+  // across every AS's lints (the RIB ground truth the daemons were fed).
+  std::unordered_map<std::uint32_t, bgp::DestRoutes> routes_cache;
+  const auto routes_for = [&](AsId dest) -> const bgp::DestRoutes& {
+    auto it = routes_cache.find(dest.value());
+    if (it == routes_cache.end()) {
+      it = routes_cache.emplace(dest.value(), bgp::compute_routes(g, dest))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (const auto& daemon : daemons) {
+    if (!daemon) continue;
+    const core::AsWiring& w = daemon->wiring();
+
+    std::unordered_map<dp::Addr, const core::PrefixRoutes*> pr_map;
+    for (const core::PrefixRoutes& pr : daemon->prefixes()) {
+      pr_map.emplace(pr.prefix, &pr);
+    }
+
+    // Gao–Rexford export-rule check of the daemon's advertised-route
+    // knowledge: every claimed alternative must be a neighbor that would
+    // genuinely export a route for the prefix.
+    for (const core::PrefixRoutes& pr : daemon->prefixes()) {
+      const auto own = owner.find(pr.prefix);
+      if (own == owner.end() || own->second == w.as) continue;
+      const bgp::DestRoutes& routes = routes_for(own->second);
+      for (const AsId alt : pr.alternatives) {
+        if (alt == pr.default_neighbor) {
+          LintIssue issue;
+          issue.kind = LintKind::AltEqualsDefault;
+          issue.as = w.as;
+          issue.dst = pr.prefix;
+          issue.detail = "RIB alternative duplicates the default neighbor AS" +
+                         std::to_string(alt.value());
+          issues.push_back(std::move(issue));
+          continue;
+        }
+        if (!bgp::rib_route_from(g, routes, w.as, alt)) {
+          LintIssue issue;
+          issue.kind = LintKind::ExportViolation;
+          issue.as = w.as;
+          issue.dst = pr.prefix;
+          issue.detail =
+              "AS" + std::to_string(alt.value()) +
+              " would not export a route for this prefix (Gao-Rexford)";
+          issues.push_back(std::move(issue));
+        }
+      }
+    }
+
+    // Per-router FIB state against the daemon's RIB knowledge.
+    for (const RouterId r : w.routers) {
+      const dp::Router& router = net.router(r);
+      for (const auto& [dst, fe] : router.fib()) {
+        if (!fe.alt_port.valid()) continue;
+        if (fe.alt_port == fe.out_port) {
+          LintIssue issue;
+          issue.kind = LintKind::AltEqualsDefault;
+          issue.as = w.as;
+          issue.router = r;
+          issue.dst = dst;
+          issue.detail = "alt_port equals the default out_port";
+          issues.push_back(std::move(issue));
+          continue;
+        }
+        const dp::Port& alt = router.port(fe.alt_port);
+        if (alt.kind != dp::PortKind::Ebgp) continue;
+        const dp::Port& def = router.port(fe.out_port);
+        if (def.kind == dp::PortKind::Ebgp &&
+            def.neighbor_as == alt.neighbor_as) {
+          LintIssue issue;
+          issue.kind = LintKind::AltEqualsDefault;
+          issue.as = w.as;
+          issue.router = r;
+          issue.dst = dst;
+          issue.detail = "alt_port exits to the default's neighbor AS" +
+                         std::to_string(alt.neighbor_as.value());
+          issues.push_back(std::move(issue));
+          continue;
+        }
+        const auto pr_it = pr_map.find(dst);
+        const core::PrefixRoutes* pr =
+            pr_it == pr_map.end() ? nullptr : pr_it->second;
+        const bool in_rib =
+            pr != nullptr &&
+            std::find(pr->alternatives.begin(), pr->alternatives.end(),
+                      alt.neighbor_as) != pr->alternatives.end();
+        if (!in_rib) {
+          LintIssue issue;
+          issue.kind = LintKind::AltMissingFromRib;
+          issue.as = w.as;
+          issue.router = r;
+          issue.dst = dst;
+          issue.detail = "alt_port exits to AS" +
+                         std::to_string(alt.neighbor_as.value()) +
+                         ", which is not a RIB alternative for this prefix";
+          issues.push_back(std::move(issue));
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace mifo::verify

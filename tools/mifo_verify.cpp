@@ -1,0 +1,250 @@
+// mifo-verify — static forwarding-state verifier (docs/VERIFICATION.md).
+//
+// Builds a concrete deployment (generated or loaded topology -> border
+// routers, BGP-derived FIBs, one daemon tick to program alt ports), then
+// statically proves per-destination loop-freedom of the installed state and
+// lints FIB/RIB consistency — no packets are run.
+//
+//   mifo-verify --gen 300 --seed 11            # generated power-law topology
+//   mifo-verify --topo mifo_topology.txt       # CAIDA-style text dump
+//   mifo-verify --gen 120 --mutate-valley      # plant an Eq.3 violation;
+//                                              # expects a reported cycle
+//
+// Exit status: 0 = loop-free and lint-clean, 1 = usage/input error,
+// 2 = cycle found or lint issues.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testbed/emulation.hpp"
+#include "topo/analysis.hpp"
+#include "topo/generator.hpp"
+#include "topo/serialization.hpp"
+#include "verify/deflection_graph.hpp"
+#include "verify/lint.hpp"
+
+using namespace mifo;
+
+namespace {
+
+struct Options {
+  std::string topo_file;
+  std::size_t gen_ases = 200;
+  std::uint64_t seed = 1;
+  std::size_t dests = 8;
+  bool expand_tier1 = false;
+  bool mutate_valley = false;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--topo FILE | --gen N] [--seed S] [--dests K]\n"
+      "          [--expand-tier1] [--mutate-valley] [-q]\n"
+      "  --topo FILE      load a CAIDA-style topology dump\n"
+      "  --gen N          generate an N-AS power-law topology (default 200)\n"
+      "  --seed S         generator seed (default 1)\n"
+      "  --dests K        destination prefixes to verify (default 8)\n"
+      "  --expand-tier1   per-adjacency border routers in tier-1 ASes\n"
+      "  --mutate-valley  plant an Eq.3-violating deflection ring and\n"
+      "                   expect the verifier to report the cycle\n"
+      "  -q               verdict only\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--topo") {
+      const char* v = next();
+      if (!v) return false;
+      opt.topo_file = v;
+    } else if (arg == "--gen") {
+      const char* v = next();
+      if (!v) return false;
+      opt.gen_ases = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--dests") {
+      const char* v = next();
+      if (!v) return false;
+      opt.dests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--expand-tier1") {
+      opt.expand_tier1 = true;
+    } else if (arg == "--mutate-valley") {
+      opt.mutate_valley = true;
+    } else if (arg == "-q") {
+      opt.quiet = true;
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return opt.gen_ases >= 4 && opt.dests >= 1;
+}
+
+/// Three mutually-peered ASes (a peering triangle) — the Fig. 2(a) shape
+/// the --mutate-valley demo wires into a deflection ring.
+std::vector<AsId> find_peering_triangle(const topo::AsGraph& g) {
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const AsId a(static_cast<std::uint32_t>(i));
+    const auto nbs = g.neighbors(a);
+    for (std::size_t x = 0; x < nbs.size(); ++x) {
+      if (nbs[x].rel != topo::Rel::Peer || !(a < nbs[x].as)) continue;
+      for (std::size_t y = x + 1; y < nbs.size(); ++y) {
+        if (nbs[y].rel != topo::Rel::Peer || !(a < nbs[y].as)) continue;
+        if (g.rel(nbs[x].as, nbs[y].as) == topo::Rel::Peer) {
+          return {a, nbs[x].as, nbs[y].as};
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  topo::AsGraph g;
+  if (!opt.topo_file.empty()) {
+    std::ifstream in(opt.topo_file);
+    if (!in) {
+      std::fprintf(stderr, "mifo-verify: cannot open %s\n",
+                   opt.topo_file.c_str());
+      return 1;
+    }
+    g = topo::parse(in);
+  } else {
+    topo::GeneratorParams gp;
+    gp.num_ases = opt.gen_ases;
+    gp.seed = opt.seed;
+    g = topo::generate_topology(gp);
+  }
+  if (!opt.quiet) {
+    std::printf("topology: %s\n",
+                topo::attributes_report(topo::attributes(g)).c_str());
+  }
+
+  // Destination prefixes: one host per chosen AS, spread across the id
+  // space (deterministic; includes AS 0 and the last AS).
+  const std::size_t n = g.num_ases();
+  std::vector<bool> expand(n, false);
+  if (opt.expand_tier1 && !opt.mutate_valley) {
+    for (std::size_t i = 0; i < n; ++i) {
+      expand[i] = g.info(AsId(static_cast<std::uint32_t>(i))).tier == 1;
+    }
+  }
+  testbed::EmulationBuilder builder(g, expand);
+  const std::size_t num_dests = std::min(opt.dests, n);
+  for (std::size_t i = 0; i < num_dests; ++i) {
+    const std::size_t as = i * (n - 1) / (num_dests > 1 ? num_dests - 1 : 1);
+    builder.attach_host(AsId(static_cast<std::uint32_t>(as)));
+  }
+  auto em = builder.finalize();
+  dp::Network& net = *em.net;
+
+  // Full MIFO deployment: flag every router, then one daemon tick per AS to
+  // program the alt ports exactly as a live system would.
+  for (std::size_t i = 0; i < net.num_routers(); ++i) {
+    net.router(RouterId(static_cast<std::uint32_t>(i)))
+        .config()
+        .mifo_enabled = true;
+  }
+  for (const auto& daemon : em.daemons) daemon->tick(net, 0.0);
+
+  if (opt.mutate_valley) {
+    const std::vector<AsId> ring = find_peering_triangle(g);
+    if (ring.size() != 3) {
+      std::fprintf(stderr,
+                   "mifo-verify: no peering triangle to mutate in this "
+                   "topology\n");
+      return 1;
+    }
+    // Point each ring AS's alt_port clockwise along the peering ring for
+    // one destination prefix, and disable the Tag-Check on those routers —
+    // the precise state Eq. 3 exists to forbid (Fig. 2(a)). The prefix must
+    // be owned outside the ring, else local delivery terminates the walk.
+    dp::Addr dst = dp::kInvalidAddr;
+    for (const auto& att : em.hosts) {
+      if (att.as != ring[0] && att.as != ring[1] && att.as != ring[2]) {
+        dst = att.addr;
+        break;
+      }
+    }
+    if (dst == dp::kInvalidAddr) {
+      std::fprintf(stderr, "mifo-verify: no prefix owned outside the ring\n");
+      return 1;
+    }
+    for (int i = 0; i < 3; ++i) {
+      const AsId as = ring[i];
+      const AsId nxt = ring[(i + 1) % 3];
+      const auto* eg = em.wirings[as.value()].egress_to(nxt);
+      if (eg == nullptr || !net.router(eg->router).fib().contains(dst)) {
+        std::fprintf(stderr, "mifo-verify: mutation target unreachable\n");
+        return 1;
+      }
+      net.router(eg->router).fib().set_alt(dst, eg->port);
+      net.router(eg->router).config().enforce_tag_check = false;
+    }
+    if (!opt.quiet) {
+      std::printf("mutated: Tag-Check disabled on peering ring AS%u-AS%u-"
+                  "AS%u, alt ports wired clockwise for dst=%u\n",
+                  ring[0].value(), ring[1].value(), ring[2].value(), dst);
+    }
+  }
+
+  std::size_t alt_routes = 0;
+  for (const dp::Router& r : net.routers()) {
+    alt_routes += r.fib().num_alt_routes();
+  }
+
+  const auto loop_check = verify::check_loop_freedom(net);
+  auto issues = verify::lint_topology(g);
+  std::vector<std::pair<dp::Addr, AsId>> owners;
+  owners.reserve(em.hosts.size());
+  for (const auto& att : em.hosts) owners.emplace_back(att.addr, att.as);
+  const auto deployment_issues =
+      verify::lint_deployment(net, g, em.daemons, owners);
+  issues.insert(issues.end(), deployment_issues.begin(),
+                deployment_issues.end());
+
+  if (!opt.quiet) {
+    std::printf("deployment: %zu routers, %zu prefixes, %zu alt routes "
+                "installed\n",
+                net.num_routers(), loop_check.stats.destinations, alt_routes);
+    std::printf("deflection graph: %zu states, %zu edges explored\n",
+                loop_check.stats.states, loop_check.stats.edges);
+    for (const auto& issue : issues) {
+      std::printf("lint: %s\n", issue.to_string().c_str());
+    }
+  }
+
+  for (const auto& cycle : loop_check.cycles) {
+    std::printf("COUNTEREXAMPLE %s\n", cycle.to_string().c_str());
+  }
+  if (loop_check.loop_free && issues.empty()) {
+    std::printf("verdict: LOOP-FREE (%zu destinations, lint clean)\n",
+                loop_check.stats.destinations);
+    return 0;
+  }
+  std::printf("verdict: %s (%zu cycles, %zu lint issues)\n",
+              loop_check.loop_free ? "LINT-DIRTY" : "CYCLE-FOUND",
+              loop_check.cycles.size(), issues.size());
+  return 2;
+}
