@@ -13,8 +13,14 @@ void print_fig9() {
   const auto s = bench::load_scale(400, 8000, 64, 800.0);
   const auto g = bench::make_topology(s);
   const auto specs = bench::make_uniform(g, s);
-  const auto recs =
-      bench::run_sim(g, specs, sim::RoutingMode::Mifo, 1.0, s.seed);
+
+  // Single full-deployment arm through the shared arm/artifact pipeline so
+  // the run lands in a mifo.run_artifact.v1 like the other figures.
+  obs::Registry reg;
+  std::vector<bench::ArmResult> results(1);
+  results[0] =
+      bench::run_arm(g, specs, sim::RoutingMode::Mifo, 1.0, s.seed, &reg);
+  const auto& recs = results[0].records;
   const auto dist = sim::switch_distribution(recs);
 
   std::printf("=== Fig. 9: path switches per flow (switching flows) ===\n");
@@ -31,6 +37,7 @@ void print_fig9() {
               "%zu delivered\n",
               100.0 * dist.fraction_at_most(2),
               static_cast<unsigned long long>(dist.total()), recs.size());
+  bench::emit_run_artifact("fig9_stability", s, results, &reg);
 }
 
 void BM_StabilityRun(benchmark::State& state) {

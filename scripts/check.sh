@@ -85,6 +85,55 @@ grep -q "COUNTEREXAMPLE" <<< "$mutated_out"
 grep -q "verdict: CYCLE-FOUND" <<< "$mutated_out"
 echo "verifier OK: both topologies proved loop-free, planted cycle caught"
 
+echo "=== mifo-chaos: safety under churn (docs/CHAOS.md) ==="
+# A randomized chaos run must end SAFE-UNDER-CHURN (exit 0) and emit a
+# schema-valid chaos artifact...
+MIFO_ARTIFACT_DIR="$artifact_dir" \
+  "$build_dir"/tools/mifo-chaos --gen --ases 36 --seed 5 --duration 0.8 \
+  --flows 24 > /dev/null
+python3 - "$artifact_dir/chaos_run.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "chaos_run"
+assert {"topo_n", "flows", "seed"} <= a["scale"].keys()
+c = a["chaos"]
+assert c["safe"] is True
+assert c["checks_run"] == c["checks_clean"] > 0
+assert c["violations"] == []
+assert c["events"], "empty event log"
+assert c["events_applied"] > 0
+for ev in c["events"]:
+    assert {"t", "kind", "applied", "clean_immediate",
+            "clean_reconverged"} <= ev.keys(), ev
+latencies = [ev["recovery_latency"] for ev in c["events"]
+             if "recovery_latency" in ev]
+assert latencies and all(l >= 0 for l in latencies), latencies
+assert {"drops", "metrics"} <= a.keys()
+print(f"chaos artifact OK: {c['events_applied']} events, "
+      f"{c['checks_run']} clean snapshots, "
+      f"{len(latencies)} recovery latencies")
+PY
+# ...bit-reproducibly: the same (topology, seed, plan) gives the same bytes.
+mv "$artifact_dir/chaos_run.json" "$artifact_dir/chaos_run.first.json"
+MIFO_ARTIFACT_DIR="$artifact_dir" \
+  "$build_dir"/tools/mifo-chaos --gen --ases 36 --seed 5 --duration 0.8 \
+  --flows 24 > /dev/null
+diff "$artifact_dir/chaos_run.first.json" "$artifact_dir/chaos_run.json"
+# Negative control: with a planted Eq.3-violating deflection ring the run
+# must turn UNSAFE (exit 2) with a concrete counterexample cycle.
+if chaos_out="$(MIFO_ARTIFACT_DIR=- "$build_dir"/tools/mifo-chaos --gen \
+    --ases 36 --seed 5 --duration 0.8 --flows 24 --mutate-valley)"; then
+  echo "mifo-chaos missed the planted violation"
+  exit 1
+fi
+grep -q "COUNTEREXAMPLE" <<< "$chaos_out"
+grep -q "cycle" <<< "$chaos_out"
+grep -q "verdict: UNSAFE" <<< "$chaos_out"
+echo "chaos OK: randomized churn proved safe, reproducible, planted" \
+     "violation caught"
+
 echo "=== clang-tidy (scripts/lint.sh) ==="
 scripts/lint.sh "$build_dir"
 

@@ -1,0 +1,446 @@
+#include "chaos/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "obs/trace.hpp"
+
+namespace mifo::chaos {
+
+namespace {
+
+std::uint64_t port_key(RouterId r, PortId p) {
+  return (static_cast<std::uint64_t>(r.value()) << 32) | p.value();
+}
+
+}  // namespace
+
+obs::Json Report::to_json() const {
+  obs::Json root = obs::Json::object();
+  root.set("safe", obs::Json::boolean(safe));
+  root.set("checks_run",
+           obs::Json::num(static_cast<std::uint64_t>(checks_run)));
+  root.set("checks_clean",
+           obs::Json::num(static_cast<std::uint64_t>(checks_clean)));
+  root.set("events_applied",
+           obs::Json::num(static_cast<std::uint64_t>(events_applied)));
+
+  obs::Json events = obs::Json::array();
+  for (const AppliedEvent& ae : log) {
+    obs::Json e = obs::Json::object();
+    e.set("t", obs::Json::num(ae.event.t));
+    e.set("kind", obs::Json::str(chaos::to_string(ae.event.kind)));
+    e.set("applied", obs::Json::boolean(ae.applied));
+    e.set("detail", obs::Json::str(ae.detail));
+    e.set("clean_immediate", obs::Json::boolean(ae.clean_immediate));
+    e.set("clean_reconverged", obs::Json::boolean(ae.clean_reconverged));
+    if (ae.recovery_latency >= 0.0) {
+      e.set("recovery_latency", obs::Json::num(ae.recovery_latency));
+    }
+    events.push(std::move(e));
+  }
+  root.set("events", std::move(events));
+
+  obs::Json viols = obs::Json::array();
+  for (const Violation& v : violations) {
+    obs::Json j = obs::Json::object();
+    j.set("t", obs::Json::num(v.t));
+    j.set("event_index",
+          obs::Json::num(static_cast<std::uint64_t>(v.event_index)));
+    j.set("description", obs::Json::str(v.description));
+    viols.push(std::move(j));
+  }
+  root.set("violations", std::move(viols));
+  return root;
+}
+
+Engine::Engine(testbed::Emulation& em, const topo::AsGraph& g,
+               EngineConfig cfg)
+    : em_(&em),
+      g_(&g),
+      cfg_(cfg),
+      route_ctl_(em, g),
+      rng_(hash_combine(cfg.seed, 0xc4a06)) {
+  owners_.reserve(em.hosts.size());
+  for (const auto& att : em.hosts) owners_.emplace_back(att.addr, att.as);
+}
+
+void Engine::attach_registry(obs::Registry& reg, const std::string& labels) {
+  reg_ = &reg;
+  m_events_ = reg.counter("chaos.events_applied", labels);
+  m_checks_ = reg.counter("chaos.checks", labels);
+  m_violations_ = reg.counter("chaos.violations", labels);
+  m_recovery_ = reg.histogram("chaos.recovery_latency", 0.0, 2.0, 40, labels);
+  shard_ = &reg.create_shard();
+}
+
+bool Engine::snapshot(Report& report, SimTime t) {
+  if (!cfg_.verify) return true;
+  ++report.checks_run;
+  if (shard_) shard_->add(m_checks_);
+
+  const dp::Network& net = *em_->net;
+  const auto loop_check = verify::check_loop_freedom(net);
+  report.last_stats = loop_check.stats;
+  bool clean = loop_check.loop_free;
+  for (const auto& cycle : loop_check.cycles) {
+    report.violations.push_back(
+        Violation{t, last_event_index_, "cycle: " + cycle.to_string()});
+  }
+  if (cfg_.lint) {
+    const auto issues =
+        verify::lint_deployment(net, *g_, em_->daemons, owners_);
+    for (const auto& issue : issues) {
+      report.violations.push_back(
+          Violation{t, last_event_index_, "lint: " + issue.to_string()});
+    }
+    clean = clean && issues.empty();
+  }
+  if (!clean) {
+    report.safe = false;
+    if (shard_) shard_->add(m_violations_);
+  } else {
+    ++report.checks_clean;
+    // A clean snapshot resolves every repair that happened before it: the
+    // state machine is provably safe again, so the outage's verification
+    // debt is paid. Latency counts from the *failure*, not the repair.
+    for (std::size_t i = 0; i < pending_recoveries_.size();) {
+      if (pending_recoveries_[i].recover_t <= t) {
+        const PendingRecovery& pr = pending_recoveries_[i];
+        AppliedEvent& fail_ev = report.log[pr.fail_index];
+        fail_ev.recovery_latency = t - pr.fail_t;
+        if (shard_) shard_->observe(m_recovery_, t - pr.fail_t);
+        pending_recoveries_[i] = pending_recoveries_.back();
+        pending_recoveries_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  return clean;
+}
+
+void Engine::set_link_state(AsId a, AsId b, bool down, std::string& detail) {
+  dp::Network& net = *em_->net;
+  const auto* eg_ab = em_->wirings[a.value()].egress_to(b);
+  const auto* eg_ba = em_->wirings[b.value()].egress_to(a);
+  if (eg_ab == nullptr || eg_ba == nullptr) {
+    detail = "no such adjacency";
+    return;
+  }
+  for (const auto* eg : {eg_ab, eg_ba}) {
+    const std::uint64_t key = port_key(eg->router, eg->port);
+    int& depth = down_depth_[key];
+    if (down) {
+      if (depth++ == 0) net.set_port_up(eg->router, eg->port, false);
+    } else {
+      if (depth > 0 && --depth == 0) {
+        net.set_port_up(eg->router, eg->port, true);
+      }
+    }
+  }
+  detail = std::string(down ? "down" : "up") + " r" +
+           std::to_string(eg_ab->router.value()) + ":p" +
+           std::to_string(eg_ab->port.value()) + " <-> r" +
+           std::to_string(eg_ba->router.value()) + ":p" +
+           std::to_string(eg_ba->port.value());
+}
+
+void Engine::scale_link_rate(AsId a, AsId b, double factor,
+                             std::string& detail) {
+  dp::Network& net = *em_->net;
+  const auto* eg_ab = em_->wirings[a.value()].egress_to(b);
+  const auto* eg_ba = em_->wirings[b.value()].egress_to(a);
+  if (eg_ab == nullptr || eg_ba == nullptr) {
+    detail = "no such adjacency";
+    return;
+  }
+  factor = std::clamp(factor, 0.01, 1.0);
+  for (const auto* eg : {eg_ab, eg_ba}) {
+    dp::Port& port = net.router(eg->router).port(eg->port);
+    const std::uint64_t key = port_key(eg->router, eg->port);
+    const auto it = nominal_rate_.try_emplace(key, port.rate).first;
+    port.rate = it->second * factor;
+  }
+  detail = "rate x" + std::to_string(factor);
+}
+
+void Engine::freeze_as(AsId as, bool freeze, std::string& detail) {
+  dp::Network& net = *em_->net;
+  const core::AsWiring& wiring = em_->wirings[as.value()];
+  // Every port of every router in the AS goes down (and the remote end of
+  // each eBGP link with it — a dead router kills the link both ways).
+  // The down-depth map makes this compose with per-link faults.
+  std::size_t ports = 0;
+  const auto flip = [&](RouterId r, PortId p) {
+    const std::uint64_t key = port_key(r, p);
+    int& depth = down_depth_[key];
+    if (freeze) {
+      if (depth++ == 0) net.set_port_up(r, p, false);
+    } else {
+      if (depth > 0 && --depth == 0) net.set_port_up(r, p, true);
+    }
+    ++ports;
+  };
+  for (const RouterId r : wiring.routers) {
+    const dp::Router& router = net.router(r);
+    for (std::size_t pi = 0; pi < router.num_ports(); ++pi) {
+      flip(r, PortId(static_cast<std::uint32_t>(pi)));
+    }
+  }
+  for (const auto& eg : wiring.egresses) {
+    const auto* back = em_->wirings[eg.neighbor.value()].egress_to(as);
+    MIFO_ASSERT(back != nullptr);
+    flip(back->router, back->port);
+  }
+  em_->daemons[as.value()]->set_frozen(freeze);
+  if (!freeze) {
+    // Restart loses the daemon-programmed state: alt ports come back only
+    // once the (unfrozen) daemon re-elects them on its next tick.
+    for (const RouterId r : wiring.routers) {
+      dp::Fib& fib = net.router(r).fib();
+      std::vector<dp::Addr> with_alt;
+      for (const auto& [dst, fe] : fib) {
+        if (fe.alt_port.valid()) with_alt.push_back(dst);
+      }
+      for (const dp::Addr dst : with_alt) fib.clear_alt(dst);
+    }
+  }
+  detail = std::to_string(wiring.routers.size()) + " routers, " +
+           std::to_string(ports) + " ports " + (freeze ? "down" : "up");
+}
+
+void Engine::start_burst(const Event& ev, std::string& detail) {
+  dp::Network& net = *em_->net;
+  // Candidate hosts inside the requested ASes; fall back to any host so a
+  // generated plan's burst never silently fizzles on a host-less AS.
+  std::vector<HostId> srcs;
+  std::vector<HostId> dsts;
+  for (const auto& att : em_->hosts) {
+    if (att.as == ev.a) srcs.push_back(att.host);
+    if (att.as == ev.b) dsts.push_back(att.host);
+  }
+  if (srcs.empty()) {
+    for (const auto& att : em_->hosts) srcs.push_back(att.host);
+  }
+  if (dsts.empty()) {
+    for (const auto& att : em_->hosts) dsts.push_back(att.host);
+  }
+  std::uint32_t started = 0;
+  for (std::uint32_t i = 0; i < std::max(1u, ev.count); ++i) {
+    const HostId src = srcs[rng_.bounded(srcs.size())];
+    HostId dst = dsts[rng_.bounded(dsts.size())];
+    if (dst == src) {
+      if (dsts.size() < 2 && em_->hosts.size() >= 2) {
+        for (const auto& att : em_->hosts) {
+          if (att.host != src) dsts.push_back(att.host);
+        }
+      }
+      dst = dsts[rng_.bounded(dsts.size())];
+      if (dst == src) continue;
+    }
+    dp::FlowParams fp;
+    fp.src = src;
+    fp.dst = dst;
+    fp.size = static_cast<Bytes>(std::max(0.001, ev.value) * 1e6);
+    fp.start = net.now();
+    net.start_flow(fp);
+    ++started;
+  }
+  detail = std::to_string(started) + " flows of " +
+           std::to_string(ev.value) + " MB";
+}
+
+bool Engine::plant_valley(std::string& detail) {
+  // Same planted violation as `mifo-verify --mutate-valley`: wire the alt
+  // ports of a peering triangle into a ring for one remotely-owned prefix
+  // and disable the Tag-Check — the exact state Eq. 3 exists to forbid.
+  dp::Network& net = *em_->net;
+  std::vector<AsId> ring;
+  for (std::size_t i = 0; i < g_->num_ases() && ring.empty(); ++i) {
+    const AsId a(static_cast<std::uint32_t>(i));
+    const auto nbs = g_->neighbors(a);
+    for (std::size_t x = 0; x < nbs.size() && ring.empty(); ++x) {
+      if (nbs[x].rel != topo::Rel::Peer || !(a < nbs[x].as)) continue;
+      for (std::size_t y = x + 1; y < nbs.size(); ++y) {
+        if (nbs[y].rel != topo::Rel::Peer || !(a < nbs[y].as)) continue;
+        if (g_->rel(nbs[x].as, nbs[y].as) == topo::Rel::Peer) {
+          ring = {a, nbs[x].as, nbs[y].as};
+          break;
+        }
+      }
+    }
+  }
+  if (ring.size() != 3) {
+    detail = "no peering triangle in topology";
+    return false;
+  }
+  dp::Addr dst = dp::kInvalidAddr;
+  for (const auto& att : em_->hosts) {
+    if (att.as != ring[0] && att.as != ring[1] && att.as != ring[2]) {
+      dst = att.addr;
+      break;
+    }
+  }
+  if (dst == dp::kInvalidAddr) {
+    detail = "no prefix owned outside the ring";
+    return false;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto* eg = em_->wirings[ring[i].value()].egress_to(ring[(i + 1) % 3]);
+    if (eg == nullptr || !net.router(eg->router).fib().contains(dst)) {
+      detail = "mutation target unreachable";
+      return false;
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto* eg = em_->wirings[ring[i].value()].egress_to(ring[(i + 1) % 3]);
+    net.router(eg->router).fib().set_alt(dst, eg->port);
+    net.router(eg->router).config().enforce_tag_check = false;
+  }
+  planted_violation_ = true;
+  detail = "ring AS" + std::to_string(ring[0].value()) + "-AS" +
+           std::to_string(ring[1].value()) + "-AS" +
+           std::to_string(ring[2].value()) + " dst=" + std::to_string(dst);
+  return true;
+}
+
+std::pair<bool, std::string> Engine::apply(const Event& ev) {
+  std::string detail;
+  switch (ev.kind) {
+    case EventKind::LinkDown:
+      set_link_state(ev.a, ev.b, true, detail);
+      return {detail != "no such adjacency", detail};
+    case EventKind::LinkUp:
+      set_link_state(ev.a, ev.b, false, detail);
+      return {detail != "no such adjacency", detail};
+    case EventKind::Degrade:
+      scale_link_rate(ev.a, ev.b, ev.value, detail);
+      return {detail != "no such adjacency", detail};
+    case EventKind::Restore:
+      scale_link_rate(ev.a, ev.b, 1.0, detail);
+      return {detail != "no such adjacency", detail};
+    case EventKind::Withdraw: {
+      const bool ok = route_ctl_.withdraw(ev.a);
+      return {ok, ok ? "origin withdrawn, RIBs reconverged"
+                     : "AS owns no prefix / already withdrawn"};
+    }
+    case EventKind::Reannounce: {
+      const bool ok = route_ctl_.reannounce(ev.a);
+      return {ok, ok ? "origin re-announced, FIBs reinstalled"
+                     : "AS not withdrawn"};
+    }
+    case EventKind::IbgpDrop:
+      em_->daemons[ev.a.value()]->set_stale(true);
+      return {true, "spare adverts frozen at last values"};
+    case EventKind::IbgpRestore:
+      em_->daemons[ev.a.value()]->set_stale(false);
+      return {true, "fresh spare adverts resume"};
+    case EventKind::RouterFreeze:
+      freeze_as(ev.a, true, detail);
+      return {true, detail};
+    case EventKind::RouterRestart:
+      freeze_as(ev.a, false, detail);
+      return {true, detail};
+    case EventKind::Burst:
+      start_burst(ev, detail);
+      return {true, detail};
+    case EventKind::PlantValley: {
+      const bool ok = plant_valley(detail);
+      return {ok, detail};
+    }
+  }
+  return {false, "unknown event"};
+}
+
+Report Engine::run(const Plan& plan) {
+  MIFO_EXPECTS(em_ != nullptr);
+  dp::Network& net = *em_->net;
+  Report report;
+  report.log.reserve(plan.events.size());
+
+  // Unified timeline: plan events interleaved with pending reconvergence
+  // snapshots, processed in time order on top of the packet event queue.
+  std::vector<SimTime> checks;  // ascending
+  std::size_t ei = 0;
+  std::size_t ci = 0;
+  const double inf = std::numeric_limits<double>::infinity();
+  while (ei < plan.events.size() || ci < checks.size()) {
+    const SimTime t_ev = ei < plan.events.size() ? plan.events[ei].t : inf;
+    const SimTime t_ck = ci < checks.size() ? checks[ci] : inf;
+    if (t_ck < t_ev) {
+      net.run_until(t_ck);
+      ++ci;
+      // Collapse snapshots that landed at (numerically) the same instant.
+      while (ci < checks.size() && checks[ci] <= t_ck) ++ci;
+      const bool clean = snapshot(report, t_ck);
+      if (!report.log.empty()) {
+        report.log.back().clean_reconverged =
+            report.log.back().clean_reconverged && clean;
+      }
+      continue;
+    }
+    const Event& ev = plan.events[ei];
+    net.run_until(ev.t);
+    const auto [applied, detail] = apply(ev);
+    AppliedEvent ae;
+    ae.event = ev;
+    ae.applied = applied;
+    ae.detail = detail;
+    last_event_index_ = report.log.size();
+    if (applied) {
+      ++report.events_applied;
+      if (shard_) shard_->add(m_events_);
+      if (obs::Tracer* tr = net.tracer()) {
+        obs::TraceEvent te;
+        te.t = ev.t;
+        te.kind = obs::TraceKind::ChaosEvent;
+        te.router = ev.a.valid() ? ev.a.value() : 0;
+        te.value = static_cast<double>(static_cast<int>(ev.kind));
+        tr->record(te);
+      }
+      if (applied && is_recovery(ev.kind)) {
+        // Pair with the latest unresolved failure of the recovery's
+        // counterpart kind on the same subject.
+        for (std::size_t i = report.log.size(); i-- > 0;) {
+          const AppliedEvent& prior = report.log[i];
+          if (!prior.applied || prior.recovery_latency >= 0.0) continue;
+          const auto rec = recovery_of(prior.event.kind);
+          if (!rec || *rec != ev.kind || prior.event.a != ev.a) continue;
+          const bool pending_already =
+              std::any_of(pending_recoveries_.begin(),
+                          pending_recoveries_.end(),
+                          [i](const PendingRecovery& p) {
+                            return p.fail_index == i;
+                          });
+          if (pending_already) continue;
+          pending_recoveries_.push_back(
+              PendingRecovery{i, prior.event.t, ev.t});
+          break;
+        }
+      }
+    }
+    report.log.push_back(std::move(ae));
+    ++ei;
+    if (applied) {
+      report.log.back().clean_immediate = snapshot(report, ev.t);
+      report.log.back().clean_reconverged = true;
+      checks.push_back(ev.t + cfg_.reconv_delay);
+    }
+  }
+
+  // Drain: run past the plan end so daemons settle and queues empty, then
+  // take the final quiescent snapshot.
+  net.run_until(plan.duration + cfg_.drain_margin);
+  snapshot(report, plan.duration + cfg_.drain_margin);
+
+  if (planted_violation_) {
+    // A planted ring is expected to be caught; "safe" keeps meaning "the
+    // verifier found nothing", so the caller sees safe == false here.
+    MIFO_ASSERT(!report.safe || !cfg_.verify);
+  }
+  return report;
+}
+
+}  // namespace mifo::chaos

@@ -1,0 +1,138 @@
+// The chaos engine: drives a chaos::Plan into a running packet-level
+// emulation and verifies safety under churn (docs/CHAOS.md).
+//
+// The engine owns the run loop: it advances the dp::Network event queue to
+// each scheduled fault, applies it (cable pulls via Network::set_port_up,
+// BGP churn via RouteController, daemon staleness/freezes, bursts), then
+// snapshots the installed forwarding state and re-runs the verify::
+// deflection-graph prover and lints — once immediately after the event and
+// once after a reconvergence delay that covers at least one daemon tick. A
+// clean chaos run is therefore a safety-under-churn proof over every
+// quiescent point; a dirty one yields the concrete counterexample cycle
+// together with the event that triggered it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "chaos/route_control.hpp"
+#include "common/rng.hpp"
+#include "obs/artifact.hpp"
+#include "obs/registry.hpp"
+#include "testbed/emulation.hpp"
+#include "verify/deflection_graph.hpp"
+#include "verify/lint.hpp"
+
+namespace mifo::chaos {
+
+struct EngineConfig {
+  std::uint64_t seed = 1;
+  /// Delay after each event before the reconvergence snapshot; keep it a
+  /// few daemon intervals so the tick between event and snapshot is real.
+  SimTime reconv_delay = 0.05;
+  /// Re-run verify:: at every snapshot (the whole point; off only for
+  /// throughput-only benches where verification cost would dominate).
+  bool verify = true;
+  /// Include the FIB/RIB lint pass in each snapshot.
+  bool lint = true;
+  /// Extra settle time after the last event before the final snapshot.
+  SimTime drain_margin = 0.5;
+};
+
+/// One applied (or skipped) plan event with its verification outcomes.
+struct AppliedEvent {
+  Event event;
+  bool applied = false;      ///< false: no-op (e.g. withdraw of a non-owner)
+  std::string detail;        ///< what concretely changed
+  bool clean_immediate = true;  ///< verifier verdict right after the event
+  bool clean_reconverged = true;  ///< ...and after reconv_delay
+  /// For recovery events: first verifier-clean snapshot time minus the
+  /// paired failure time. Negative when not applicable / never clean.
+  double recovery_latency = -1.0;
+};
+
+/// A verification failure attributed to the event that triggered it.
+struct Violation {
+  SimTime t = 0.0;               ///< snapshot time
+  std::size_t event_index = 0;   ///< last applied event before the snapshot
+  std::string description;       ///< cycle or lint rendering
+};
+
+struct Report {
+  std::vector<AppliedEvent> log;
+  std::vector<Violation> violations;
+  std::size_t checks_run = 0;
+  std::size_t checks_clean = 0;
+  std::size_t events_applied = 0;
+  bool safe = true;  ///< every snapshot loop-free and lint-clean
+  verify::VerifyStats last_stats;
+
+  /// The `chaos` section of the extended mifo.run_artifact.v1 schema.
+  [[nodiscard]] obs::Json to_json() const;
+};
+
+class Engine {
+ public:
+  /// `em` must be finalized, MIFO-enabled (or not — plain BGP works too,
+  /// with nothing to verify but default routes) and must outlive the
+  /// engine. `g` is the AS graph the emulation was built from.
+  Engine(testbed::Emulation& em, const topo::AsGraph& g,
+         EngineConfig cfg = {});
+
+  /// Attach a metrics registry: chaos.events_applied / chaos.checks /
+  /// chaos.violations counters and a chaos.recovery_latency histogram
+  /// accumulate under `labels`.
+  void attach_registry(obs::Registry& reg, const std::string& labels);
+
+  /// Runs the plan to completion (events, snapshots, final drain) and
+  /// returns the report. Call once per engine.
+  [[nodiscard]] Report run(const Plan& plan);
+
+  [[nodiscard]] RouteController& route_controller() { return route_ctl_; }
+
+ private:
+  struct PendingRecovery {
+    std::size_t fail_index;  ///< log index of the failure event
+    SimTime fail_t;
+    SimTime recover_t;
+  };
+
+  /// Applies one event; returns {applied, detail}.
+  std::pair<bool, std::string> apply(const Event& ev);
+  void set_link_state(AsId a, AsId b, bool down, std::string& detail);
+  void scale_link_rate(AsId a, AsId b, double factor, std::string& detail);
+  void freeze_as(AsId as, bool freeze, std::string& detail);
+  void start_burst(const Event& ev, std::string& detail);
+  bool plant_valley(std::string& detail);
+
+  /// Verification snapshot at the current time; updates report/metrics.
+  bool snapshot(Report& report, SimTime t);
+
+  testbed::Emulation* em_;
+  const topo::AsGraph* g_;
+  EngineConfig cfg_;
+  RouteController route_ctl_;
+  Rng rng_;
+  std::vector<std::pair<dp::Addr, AsId>> owners_;
+
+  /// Down-depth per directed router port (overlapping faults nest).
+  std::unordered_map<std::uint64_t, int> down_depth_;
+  /// Nominal rate per directed router port touched by Degrade.
+  std::unordered_map<std::uint64_t, Mbps> nominal_rate_;
+  std::vector<PendingRecovery> pending_recoveries_;
+  std::size_t last_event_index_ = 0;
+  bool planted_violation_ = false;
+
+  obs::Registry* reg_ = nullptr;
+  obs::Registry::Shard* shard_ = nullptr;
+  obs::MetricId m_events_ = 0;
+  obs::MetricId m_checks_ = 0;
+  obs::MetricId m_violations_ = 0;
+  obs::MetricId m_recovery_ = 0;
+};
+
+}  // namespace mifo::chaos

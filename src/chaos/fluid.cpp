@@ -1,0 +1,33 @@
+#include "chaos/fluid.hpp"
+
+namespace mifo::chaos {
+
+std::size_t apply_to_fluid(const Plan& plan, const topo::AsGraph& g,
+                           sim::FluidSim& fs) {
+  std::size_t applied = 0;
+  for (const Event& ev : plan.events) {
+    double factor = 0.0;
+    switch (ev.kind) {
+      case EventKind::LinkDown:
+        factor = kFluidDownFactor;
+        break;
+      case EventKind::LinkUp:
+      case EventKind::Restore:
+        factor = 1.0;
+        break;
+      case EventKind::Degrade:
+        factor = ev.value;
+        break;
+      default:
+        continue;  // packet-plane-only event
+    }
+    const LinkId ab = g.link(ev.a, ev.b);
+    if (!ab.valid()) continue;
+    fs.schedule_capacity_event(ev.t, ab, factor);
+    fs.schedule_capacity_event(ev.t, g.twin(ab), factor);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace mifo::chaos

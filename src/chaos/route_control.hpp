@@ -1,0 +1,58 @@
+// Live BGP route churn for a running emulation.
+//
+// The testbed builder installs FIBs once, from a converged bgp::compute_routes
+// snapshot. Chaos needs the control plane to *move*: withdrawing an origin
+// must evict the route from every remote RIB, tear the FIB entries (default
+// and daemon-programmed alt) out of the data plane, and re-announcement must
+// put them back. RouteController runs a real bgpd::SessionNetwork (per-AS
+// Speakers, FIFO message processing) beside the packet plane and replays its
+// converged state into the routers' FIBs and the MIFO daemons' prefix
+// knowledge after every change.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgpd/session_network.hpp"
+#include "testbed/emulation.hpp"
+#include "topo/as_graph.hpp"
+
+namespace mifo::chaos {
+
+class RouteController {
+ public:
+  /// Originates every prefix-owning AS of `em` and converges. `em` and `g`
+  /// must outlive the controller.
+  RouteController(testbed::Emulation& em, const topo::AsGraph& g);
+
+  /// Withdraws all prefixes originated by `owner`: converges the speakers,
+  /// evicts the FIB entries (default route and any alt riding on it) from
+  /// every other AS's routers and drops the prefix from their daemons.
+  /// Returns false when `owner` owns no prefix or is already withdrawn.
+  bool withdraw(AsId owner);
+
+  /// Re-announces `owner`'s prefixes and reinstalls FIB entries and daemon
+  /// PrefixRoutes from the speakers' converged RIBs. Returns false when
+  /// `owner` owns no prefix or is not currently withdrawn.
+  bool reannounce(AsId owner);
+
+  [[nodiscard]] bool withdrawn(AsId owner) const;
+  /// BGP messages processed across all convergence runs (telemetry).
+  [[nodiscard]] std::size_t messages_processed() const { return messages_; }
+
+  [[nodiscard]] const bgpd::SessionNetwork& sessions() const {
+    return *sessions_;
+  }
+
+ private:
+  void install_prefix(const testbed::HostAttachment& att);
+  void evict_prefix(const testbed::HostAttachment& att);
+
+  testbed::Emulation* em_;
+  const topo::AsGraph* g_;
+  std::unique_ptr<bgpd::SessionNetwork> sessions_;
+  std::vector<AsId> withdrawn_;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace mifo::chaos

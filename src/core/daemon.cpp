@@ -22,14 +22,23 @@ PortId AsWiring::intra_port(RouterId from, RouterId to) const {
 }
 
 void MifoDaemon::tick(dp::Network& net, SimTime now) {
+  if (frozen_) return;  // the XORP process is dead; nothing reprograms
+
   // (1) Sample every inter-AS link once; border routers "communicate the
   // measurement results with each other" over iBGP — modeled as the shared
-  // spare[] table.
+  // spare[] table. A down link advertises no spare (its byte counters would
+  // read as a fully idle, fully spare link otherwise); with the iBGP session
+  // dropped the table keeps the last adverts received before the drop.
   std::vector<Mbps> spare(wiring_.egresses.size(), 0.0);
   obs::Tracer* const tr = net.tracer();
   for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
     const auto& e = wiring_.egresses[i];
-    spare[i] = monitor_.sample(net, e.router, e.port, now).spare;
+    if (!net.router(e.router).port(e.port).up) {
+      spare[i] = -1.0;
+      continue;
+    }
+    spare[i] = stale_ ? monitor_.last(net, e.router, e.port).spare
+                      : monitor_.sample(net, e.router, e.port, now).spare;
     if (tr) {
       obs::TraceEvent ev;
       ev.t = now;
@@ -41,7 +50,10 @@ void MifoDaemon::tick(dp::Network& net, SimTime now) {
     }
   }
 
-  // (2)+(3) Elect and program the best alternative per prefix.
+  // (2)+(3) Elect and program the best alternative per prefix. A prefix with
+  // no electable alternative (all candidate links down) gets its previously
+  // programmed alt cleared rather than left stale — deflecting onto a dead
+  // link would just convert congestion drops into link-down drops.
   elected_.clear();
   for (const auto& pr : prefixes_) {
     if (!pr.default_neighbor.valid() || pr.alternatives.empty()) continue;
@@ -50,6 +62,7 @@ void MifoDaemon::tick(dp::Network& net, SimTime now) {
     for (const AsId alt : pr.alternatives) {
       for (std::size_t i = 0; i < wiring_.egresses.size(); ++i) {
         if (wiring_.egresses[i].neighbor != alt) continue;
+        if (spare[i] < 0.0) continue;  // link down: not a candidate
         if (spare[i] > best_spare ||
             (spare[i] == best_spare && choice.valid() && alt < choice)) {
           best_spare = spare[i];
@@ -60,6 +73,8 @@ void MifoDaemon::tick(dp::Network& net, SimTime now) {
     if (choice.valid()) {
       program_alt(net, pr, choice);
       elected_.emplace_back(pr.prefix, choice);
+    } else {
+      clear_alt(net, pr.prefix);
     }
   }
 
@@ -97,6 +112,33 @@ void MifoDaemon::program_alt(dp::Network& net, const PrefixRoutes& pr,
       router.fib().set_alt(pr.prefix, via);
     }
   }
+}
+
+void MifoDaemon::clear_alt(dp::Network& net, dp::Addr prefix) {
+  for (const RouterId r : wiring_.routers) {
+    net.router(r).fib().clear_alt(prefix);
+  }
+}
+
+void MifoDaemon::update_prefix(dp::Network& net, PrefixRoutes pr) {
+  clear_alt(net, pr.prefix);
+  std::erase_if(elected_,
+                [&pr](const auto& e) { return e.first == pr.prefix; });
+  for (auto& existing : prefixes_) {
+    if (existing.prefix == pr.prefix) {
+      existing = std::move(pr);
+      return;
+    }
+  }
+  prefixes_.push_back(std::move(pr));
+}
+
+void MifoDaemon::remove_prefix(dp::Network& net, dp::Addr prefix) {
+  clear_alt(net, prefix);
+  std::erase_if(prefixes_,
+                [prefix](const PrefixRoutes& pr) { return pr.prefix == prefix; });
+  std::erase_if(elected_,
+                [prefix](const auto& e) { return e.first == prefix; });
 }
 
 AsId MifoDaemon::elected_alt(dp::Addr prefix) const {

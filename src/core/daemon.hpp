@@ -73,13 +73,37 @@ class MifoDaemon {
     return prefixes_;
   }
 
+  // --- churn hooks (chaos engine / route controller) -------------------------
+  /// Replace (or add) the RIB knowledge for one prefix, e.g. after a BGP
+  /// re-announcement changed the default or the alternative set. Any alt
+  /// programmed from the old knowledge is cleared; the next tick re-elects.
+  void update_prefix(dp::Network& net, PrefixRoutes pr);
+
+  /// Drop all knowledge of a withdrawn prefix and clear the alt ports it had
+  /// programmed (the FIB default eviction is the route controller's job).
+  void remove_prefix(dp::Network& net, dp::Addr prefix);
+
+  /// A frozen daemon skips its ticks entirely (router/XORP process crash);
+  /// forwarding continues on whatever state was last programmed.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// With the iBGP session dropped, border routers stop exchanging fresh
+  /// spare-capacity measurements: elections keep running on the last adverts
+  /// received before the drop (stale state, the paper's failure mode).
+  void set_stale(bool stale) { stale_ = stale; }
+  [[nodiscard]] bool stale() const { return stale_; }
+
  private:
   void program_alt(dp::Network& net, const PrefixRoutes& pr, AsId choice);
+  void clear_alt(dp::Network& net, dp::Addr prefix);
 
   AsWiring wiring_;
   std::vector<PrefixRoutes> prefixes_;
   LinkMonitor monitor_;
   std::vector<std::pair<dp::Addr, AsId>> elected_;
+  bool frozen_ = false;
+  bool stale_ = false;
 };
 
 }  // namespace mifo::core

@@ -22,6 +22,8 @@ void Fib::clear_alt(Addr dst) {
   if (it != table_.end()) it->second.alt_port = PortId::invalid();
 }
 
+bool Fib::remove(Addr dst) { return table_.erase(dst) > 0; }
+
 std::optional<FibEntry> Fib::lookup(Addr dst) const {
   const auto it = table_.find(dst);
   if (it == table_.end()) return std::nullopt;

@@ -30,6 +30,10 @@ class Fib {
   /// Clear the alternative port.
   void clear_alt(Addr dst);
 
+  /// Remove the entry entirely (BGP withdrawal evicted the route). No-op
+  /// when absent; returns whether an entry was removed.
+  bool remove(Addr dst);
+
   [[nodiscard]] std::optional<FibEntry> lookup(Addr dst) const;
 
   [[nodiscard]] bool contains(Addr dst) const { return table_.contains(dst); }

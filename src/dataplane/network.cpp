@@ -229,12 +229,20 @@ void Network::dispatch(const Event& ev) {
     case EvKind::TxDoneRouter: {
       Port& p = router(RouterId(ev.a)).port(PortId(ev.b));
       p.busy = false;
+      if (!p.up) {  // cable pulled mid-transmission: backlog is lost
+        flush_down_queue(p);
+        break;
+      }
       if (!p.queue.empty()) begin_tx(NodeRef::router(RouterId(ev.a)), p, ev.b);
       break;
     }
     case EvKind::TxDoneHost: {
       Port& p = host(HostId(ev.a)).uplink;
       p.busy = false;
+      if (!p.up) {
+        flush_down_queue(p);
+        break;
+      }
       if (!p.queue.empty()) begin_tx(NodeRef::host(HostId(ev.a)), p, 0);
       break;
     }
@@ -257,6 +265,26 @@ void Network::dispatch(const Event& ev) {
       push_event(next);
       break;
     }
+  }
+}
+
+void Network::flush_down_queue(Port& port) {
+  port.drops_down += port.queue.size();
+  port.queue.clear();
+  port.queue_bytes = 0;
+}
+
+void Network::set_port_up(RouterId r, PortId port, bool up) {
+  Port& p = router(r).port(port);
+  if (p.up == up) return;
+  p.up = up;
+  if (!up) {
+    // The in-flight packet (busy tx) is already on the wire and will arrive;
+    // everything still queued behind it is discarded now so the drops land
+    // in the outage interval.
+    flush_down_queue(p);
+  } else if (!p.busy && !p.queue.empty()) {
+    begin_tx(NodeRef::router(r), p, port.value());
   }
 }
 

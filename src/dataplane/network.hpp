@@ -111,6 +111,14 @@ class Network {
   /// Sum of all router counters.
   [[nodiscard]] RouterCounters total_counters() const;
 
+  // --- failure injection -------------------------------------------------------
+  /// Administratively set a router port's link state. Taking a port down is
+  /// a cable pull: the tx backlog is discarded immediately and accounted as
+  /// `drops_down`, so drops during a down interval are attributed to the
+  /// outage rather than surfacing later as queue overflow. Bringing it up
+  /// resumes transmission of anything enqueued since.
+  void set_port_up(RouterId r, PortId port, bool up);
+
   // --- observability -----------------------------------------------------------
   /// Opt-in forwarding-decision tracing. The tracer must outlive the
   /// network; nullptr (the default) disables tracing at one pointer test
@@ -189,6 +197,8 @@ class Network {
 
   void push_event(Event ev);
   void dispatch(const Event& ev);
+  /// Cable-pull semantics: discard a downed port's tx backlog as drops_down.
+  static void flush_down_queue(Port& port);
   void begin_tx(NodeRef node, Port& port, std::uint32_t port_index);
   void enqueue_on(NodeRef node, Port& port, std::uint32_t port_index,
                   Packet p);

@@ -36,6 +36,8 @@ const char* to_string(TraceKind k) {
       return "DROP(ttl)";
     case TraceKind::SpareAdvert:
       return "spare-advert";
+    case TraceKind::ChaosEvent:
+      return "chaos-event";
   }
   return "?";
 }
@@ -112,6 +114,13 @@ std::string Tracer::describe(const TraceEvent& ev) {
       std::snprintf(buf, sizeof(buf), "[%9.6f] r%u %-15s %d pins", ev.t,
                     ev.router, to_string(ev.kind),
                     static_cast<int>(ev.value));
+      break;
+    case TraceKind::ChaosEvent:
+      // `value` carries the chaos::EventKind ordinal; the engine's event
+      // log holds the readable form.
+      std::snprintf(buf, sizeof(buf), "[%9.6f] %-15s kind=%d subject=%u",
+                    ev.t, to_string(ev.kind), static_cast<int>(ev.value),
+                    ev.router);
       break;
     default:
       std::snprintf(buf, sizeof(buf),

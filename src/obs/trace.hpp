@@ -33,6 +33,7 @@ enum class TraceKind : std::uint8_t {
   DropNoRoute,
   DropTtl,
   SpareAdvert,     ///< daemon advertised a link's spare capacity (III-C)
+  ChaosEvent,      ///< fault-injection event applied (src/chaos/)
 };
 
 [[nodiscard]] const char* to_string(TraceKind k);

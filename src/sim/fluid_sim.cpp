@@ -80,6 +80,13 @@ void FluidSim::warm_route_cache(std::span<const traffic::FlowSpec> specs) {
   }
 }
 
+void FluidSim::schedule_capacity_event(SimTime t, LinkId link, double factor) {
+  MIFO_EXPECTS(t >= 0.0);
+  MIFO_EXPECTS(link.value() < g_.num_directed_links());
+  cap_events_.push_back(
+      CapacityEvent{t, link.value(), std::clamp(factor, 1e-3, 10.0)});
+}
+
 double FluidSim::utilization(std::uint32_t link) const {
   return alloc_[link] / capacity_[link];
 }
@@ -252,6 +259,14 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
   // Completions tear allocations down flow by flow, which can leave tiny
   // floating-point residues behind; start every run from exact zeros.
   std::fill(alloc_.begin(), alloc_.end(), 0.0);
+  // Chaos capacity events mutate capacity_ mid-run; start from a clean slate
+  // so back-to-back run() calls on one sim are independent.
+  std::fill(capacity_.begin(), capacity_.end(), cfg_.link_capacity);
+  std::stable_sort(cap_events_.begin(), cap_events_.end(),
+                   [](const CapacityEvent& a, const CapacityEvent& b) {
+                     return a.t < b.t;
+                   });
+  std::size_t ci = 0;
   samples_.clear();
   next_sample_ = sample_interval_;
   SimTime t = 0.0;
@@ -268,7 +283,11 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
     }
     const SimTime t_tick =
         (cfg_.mode == RoutingMode::Bgp || active_.empty()) ? kInf : next_tick;
-    const SimTime t_next = std::min({t_arr, t_comp, t_tick});
+    // Pending capacity events only matter while flows exist to reshare; an
+    // event before the next arrival with nothing active applies then too,
+    // keeping event/arrival interleaving exact.
+    const SimTime t_ev = ci < cap_events_.size() ? cap_events_[ci].t : kInf;
+    const SimTime t_next = std::min({t_arr, t_comp, t_tick, t_ev});
     MIFO_ASSERT(t_next < kInf);
     MIFO_ASSERT(t_next >= t - kTimeEps);
 
@@ -288,6 +307,14 @@ std::vector<FlowRecord> FluidSim::run(std::vector<traffic::FlowSpec> specs) {
     t = t_next;
 
     bool changed = false;
+
+    // Capacity events (link down/up/degrade) due now.
+    while (ci < cap_events_.size() && cap_events_[ci].t <= t + kTimeEps) {
+      capacity_[cap_events_[ci].link] =
+          cfg_.link_capacity * cap_events_[ci].factor;
+      changed = true;
+      ++ci;
+    }
 
     // Completions.
     for (std::size_t i = 0; i < active_.size();) {

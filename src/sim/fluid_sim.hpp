@@ -87,6 +87,14 @@ class FluidSim {
   [[nodiscard]] std::vector<FlowRecord> run(
       std::vector<traffic::FlowSpec> specs);
 
+  /// Schedule a capacity change on one directed link: at time `t` its
+  /// capacity becomes `factor * SimConfig::link_capacity`. The factor is
+  /// clamped to [1e-3, 10] — a "down" link keeps a sliver of capacity so
+  /// utilization stays finite and flows pinned to it crawl rather than
+  /// divide by zero. Call before run(); run() applies events in time order
+  /// and resets all capacities to link_capacity at its start.
+  void schedule_capacity_event(SimTime t, LinkId link, double factor);
+
   /// Converged routes towards `dest` (cached; exposed for tests).
   [[nodiscard]] const bgp::DestRoutes& routes_for(AsId dest);
 
@@ -126,9 +134,16 @@ class FluidSim {
   void reevaluate_paths(std::vector<FlowRecord>& records);
   void take_sample(SimTime t);
 
+  struct CapacityEvent {
+    SimTime t = 0.0;
+    std::uint32_t link = 0;
+    double factor = 1.0;
+  };
+
   const topo::AsGraph& g_;
   SimConfig cfg_;
   std::vector<bool> deployed_;
+  std::vector<CapacityEvent> cap_events_;
   std::unordered_map<std::uint32_t, std::unique_ptr<bgp::DestRoutes>> cache_;
   std::vector<double> capacity_;  ///< per directed link
   std::vector<double> alloc_;    ///< per directed link, allocated Mbps

@@ -1,0 +1,196 @@
+// RouteController tests — BGP withdrawal/re-announcement propagated into a
+// live emulation: withdrawing an origin must empty the remote speakers'
+// RIBs and tear both the default route and any daemon-programmed alt_port
+// out of every remote FIB; re-announcing must restore end-to-end
+// reachability. The alt-missing-from-rib lint is the tripwire: if eviction
+// ever skips the alt, the lint must fire.
+
+#include <gtest/gtest.h>
+
+#include "chaos/route_control.hpp"
+#include "testbed/emulation.hpp"
+#include "topo/generator.hpp"
+#include "verify/lint.hpp"
+
+namespace mifo::chaos {
+namespace {
+
+struct Fixture {
+  topo::AsGraph g;
+  testbed::Emulation em;
+
+  static Fixture make(std::uint64_t seed, bool mifo) {
+    topo::GeneratorParams gp;
+    gp.num_ases = 24;
+    gp.num_tier1 = 3;
+    gp.seed = seed;
+    Fixture f{topo::generate_topology(gp), {}};
+    testbed::EmulationBuilder builder(f.g,
+                                      std::vector<bool>(f.g.num_ases(), false));
+    builder.attach_host(AsId(2));
+    builder.attach_host(
+        AsId(static_cast<std::uint32_t>(f.g.num_ases() - 1)));
+    builder.attach_host(
+        AsId(static_cast<std::uint32_t>(f.g.num_ases() / 2)));
+    f.em = builder.finalize();
+    if (mifo) {
+      std::vector<AsId> all;
+      for (std::uint32_t i = 0; i < f.g.num_ases(); ++i) {
+        all.push_back(AsId(i));
+      }
+      f.em.enable_mifo(all, dp::RouterConfig{});
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::size_t routers_with_route(dp::Addr dst) const {
+    std::size_t n = 0;
+    for (std::uint32_t r = 0; r < em.net->num_routers(); ++r) {
+      n += em.net->router(RouterId(r)).fib().lookup(dst).has_value() ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+TEST(RouteControl, WithdrawEvictsRibAndFib) {
+  auto f = Fixture::make(7, /*mifo=*/false);
+  RouteController ctl(f.em, f.g);
+  const auto& victim = f.em.hosts[0];
+
+  // Converged baseline: every router routes the prefix, every remote
+  // speaker holds a best path to the origin.
+  EXPECT_EQ(f.routers_with_route(victim.addr), f.em.net->num_routers());
+  for (std::uint32_t as = 0; as < f.g.num_ases(); ++as) {
+    EXPECT_TRUE(ctl.sessions().speaker(AsId(as)).best(victim.as).valid())
+        << "AS" << as;
+  }
+
+  ASSERT_TRUE(ctl.withdraw(victim.as));
+  EXPECT_TRUE(ctl.withdrawn(victim.as));
+
+  // Every RIB emptied (the origin dropped its Self route with the
+  // withdrawal); only the origin router keeps local host delivery. The
+  // other prefixes are untouched.
+  for (std::uint32_t as = 0; as < f.g.num_ases(); ++as) {
+    EXPECT_FALSE(ctl.sessions().speaker(AsId(as)).best(victim.as).valid())
+        << "AS" << as;
+  }
+  EXPECT_EQ(f.routers_with_route(victim.addr), 1u);
+  EXPECT_EQ(f.routers_with_route(f.em.hosts[1].addr),
+            f.em.net->num_routers());
+
+  // Idempotence / non-owners.
+  EXPECT_FALSE(ctl.withdraw(victim.as));
+  AsId non_owner = AsId::invalid();
+  for (std::uint32_t as = 0; as < f.g.num_ases() && !non_owner.valid();
+       ++as) {
+    bool owns = false;
+    for (const auto& att : f.em.hosts) owns = owns || att.as == AsId(as);
+    if (!owns) non_owner = AsId(as);
+  }
+  ASSERT_TRUE(non_owner.valid());
+  EXPECT_FALSE(ctl.withdraw(non_owner));
+}
+
+TEST(RouteControl, ReannounceRestoresReachability) {
+  auto f = Fixture::make(9, /*mifo=*/false);
+  RouteController ctl(f.em, f.g);
+  const auto& victim = f.em.hosts[0];
+
+  ASSERT_TRUE(ctl.withdraw(victim.as));
+  EXPECT_FALSE(ctl.reannounce(f.em.hosts[1].as));  // not withdrawn
+  ASSERT_TRUE(ctl.reannounce(victim.as));
+  EXPECT_FALSE(ctl.withdrawn(victim.as));
+  EXPECT_EQ(f.routers_with_route(victim.addr), f.em.net->num_routers());
+
+  // End-to-end proof: a flow towards the restored prefix completes.
+  dp::FlowParams fp;
+  fp.src = f.em.hosts[1].host;
+  fp.dst = victim.host;
+  fp.size = 200 * 1000;
+  f.em.net->start_flow(fp);
+  f.em.net->run_to_completion(30.0);
+  EXPECT_TRUE(f.em.net->flows()[0].done);
+  EXPECT_GT(ctl.messages_processed(), 0u);
+}
+
+TEST(RouteControl, WithdrawEvictsDaemonProgrammedAlt) {
+  auto f = Fixture::make(11, /*mifo=*/true);
+  dp::Network& net = *f.em.net;
+  // Let every daemon tick once so alts are programmed where RIBs allow.
+  net.run_until(0.03);
+  RouteController ctl(f.em, f.g);
+  const auto& victim = f.em.hosts[0];
+
+  ASSERT_TRUE(ctl.withdraw(victim.as));
+
+  // No remote FIB may retain a default or alt for the withdrawn prefix
+  // (the alt rides on the entry; Fib::remove drops both).
+  for (std::uint32_t r = 0; r < net.num_routers(); ++r) {
+    if (net.router(RouterId(r)).as() == victim.as) continue;
+    EXPECT_FALSE(net.router(RouterId(r)).fib().lookup(victim.addr))
+        << "router " << r;
+  }
+
+  // And the lint pass agrees: nothing dangles.
+  std::vector<std::pair<dp::Addr, AsId>> owners;
+  for (const auto& att : f.em.hosts) owners.emplace_back(att.addr, att.as);
+  const auto issues =
+      verify::lint_deployment(net, f.g, f.em.daemons, owners);
+  for (const auto& iss : issues) {
+    EXPECT_NE(iss.kind, verify::LintKind::AltMissingFromRib)
+        << iss.to_string();
+  }
+
+  ASSERT_TRUE(ctl.reannounce(victim.as));
+  EXPECT_EQ(f.routers_with_route(victim.addr), net.num_routers());
+}
+
+TEST(RouteControl, SkippedAltEvictionTripsTheLint) {
+  // Negative control for the tripwire: reinstall a default+alt for a
+  // withdrawn prefix behind the controller's back — the daemon no longer
+  // knows the prefix, so alt-missing-from-rib MUST fire.
+  auto f = Fixture::make(13, /*mifo=*/true);
+  dp::Network& net = *f.em.net;
+  net.run_until(0.03);
+  RouteController ctl(f.em, f.g);
+  const auto& victim = f.em.hosts[0];
+  ASSERT_TRUE(ctl.withdraw(victim.as));
+
+  // Find a router outside the origin AS with >= 2 eBGP ports and fake the
+  // "forgot to evict" state.
+  bool planted = false;
+  for (std::uint32_t r = 0; r < net.num_routers() && !planted; ++r) {
+    dp::Router& router = net.router(RouterId(r));
+    if (router.as() == victim.as) continue;
+    PortId def = PortId::invalid();
+    PortId alt = PortId::invalid();
+    for (std::uint32_t p = 0; p < router.num_ports(); ++p) {
+      if (router.port(PortId(p)).kind != dp::PortKind::Ebgp) continue;
+      if (!def.valid()) {
+        def = PortId(p);
+      } else if (!alt.valid() && router.port(PortId(p)).neighbor_as !=
+                                     router.port(def).neighbor_as) {
+        alt = PortId(p);
+      }
+    }
+    if (!def.valid() || !alt.valid()) continue;
+    router.fib().set_route(victim.addr, def);
+    router.fib().set_alt(victim.addr, alt);
+    planted = true;
+  }
+  ASSERT_TRUE(planted);
+
+  std::vector<std::pair<dp::Addr, AsId>> owners;
+  for (const auto& att : f.em.hosts) owners.emplace_back(att.addr, att.as);
+  const auto issues =
+      verify::lint_deployment(net, f.g, f.em.daemons, owners);
+  bool fired = false;
+  for (const auto& iss : issues) {
+    fired = fired || iss.kind == verify::LintKind::AltMissingFromRib;
+  }
+  EXPECT_TRUE(fired) << "lint failed to catch a stale alt after withdrawal";
+}
+
+}  // namespace
+}  // namespace mifo::chaos

@@ -102,6 +102,71 @@ TEST(FailureInjection, MisconfiguredAltPortToHostLinkIsHarmless) {
   EXPECT_TRUE(c.net.flows()[0].done);
 }
 
+TEST(FailureInjection, DownIntervalDropsAttributedToDownNotOverflow) {
+  // Regression: packets queued behind a link when the cable is pulled must
+  // be charged to the down interval (drops_down), never folded into
+  // queue_overflow — set_port_up discards the backlog immediately.
+  Chain c;
+  Port& p = c.net.router(c.r0).port(c.p01);
+  p.rate = 100.0;  // 10:1 bottleneck: the egress queue holds a real backlog
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = 2 * kMegaByte;
+  c.net.start_flow(fp);
+
+  c.net.run_until(0.004);  // ramp until a backlog sits in the egress queue
+  ASSERT_GT(p.queue.size(), 0u);
+  const std::uint64_t overflow_before = p.drops_overflow;
+
+  c.net.set_port_up(c.r0, c.p01, false);
+  // The queued backlog is discarded as down-drops at the flap instant...
+  EXPECT_EQ(p.queue.size(), 0u);
+  EXPECT_EQ(p.queue_bytes, 0u);
+  const std::uint64_t down_at_flap = p.drops_down;
+  EXPECT_GT(down_at_flap, 0u);
+  // ...and retransmissions during the outage keep accruing there.
+  c.net.run_until(0.104);
+  EXPECT_GT(p.drops_down, down_at_flap);
+  EXPECT_EQ(p.drops_overflow, overflow_before);
+
+  c.net.set_port_up(c.r0, c.p01, true);
+  c.net.run_to_completion(30.0);
+  ASSERT_TRUE(c.net.flows()[0].done);
+  EXPECT_EQ(p.drops_overflow, overflow_before);
+
+  // The breakdown keeps the buckets distinct too.
+  std::uint64_t down_bucket = 0;
+  for (const auto& [reason, count] : c.net.drop_breakdown()) {
+    if (reason == "link_down") down_bucket = count;
+  }
+  EXPECT_EQ(down_bucket, p.drops_down);
+}
+
+TEST(FailureInjection, MidTransmissionFlapFlushesBacklogAtTxDone) {
+  // Pulling the cable via the raw flag (no flush) must still not leak the
+  // backlog: the in-flight TxDone notices the port is down and discards
+  // the queue into drops_down instead of restarting transmission.
+  Chain c;
+  Port& p = c.net.router(c.r0).port(c.p01);
+  p.rate = 100.0;
+  FlowParams fp;
+  fp.src = c.h1;
+  fp.dst = c.h2;
+  fp.size = kMegaByte;
+  c.net.start_flow(fp);
+  c.net.run_until(0.004);
+  ASSERT_GT(p.queue.size(), 0u);
+  p.up = false;  // legacy direct flip, mid-transmission
+  c.net.run_until(0.02);
+  EXPECT_EQ(p.queue.size(), 0u);
+  EXPECT_EQ(p.queue_bytes, 0u);
+  EXPECT_GT(p.drops_down, 0u);
+  p.up = true;
+  c.net.run_to_completion(30.0);
+  EXPECT_TRUE(c.net.flows()[0].done);
+}
+
 TEST(FailureInjection, ZeroByteQueueDropsEverything) {
   Chain c;
   c.net.router(c.r0).port(c.p01).queue_capacity_bytes = 0;
