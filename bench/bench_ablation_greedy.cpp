@@ -15,30 +15,63 @@ void print_ablation() {
   const auto s = bench::load_scale(400, 8000, 64, 800.0);
   const auto g = bench::make_topology(s);
   const auto specs = bench::make_uniform(g, s);
-  const auto deployed = traffic::random_deployment(g.num_ases(), 0.5,
-                                                   s.seed * 7 + 5);
+  const std::vector<double> margins{0.0, 0.2, 0.4};
+  const std::vector<std::uint16_t> hop_caps{0, 1, 8};
+
+  // 3x3 knob grid + the two selection policies + the BGP baseline, one
+  // concurrent run_arm arm each; everything lands in the run artifact.
+  obs::Registry reg;
+  const std::size_t grid = margins.size() * hop_caps.size();
+  std::vector<bench::ArmResult> results(grid + 3);
+  std::vector<std::function<void()>> arms;
+  for (std::size_t mi = 0; mi < margins.size(); ++mi) {
+    for (std::size_t hi = 0; hi < hop_caps.size(); ++hi) {
+      arms.emplace_back([&, mi, hi] {
+        sim::SimConfig cfg;
+        cfg.spare_margin = margins[mi];
+        cfg.max_extra_hops = hop_caps[hi];
+        char suffix[32];
+        std::snprintf(suffix, sizeof(suffix), ",m=%.1f,h=%u", margins[mi],
+                      hop_caps[hi]);
+        results[mi * hop_caps.size() + hi] =
+            bench::run_arm(g, specs, sim::RoutingMode::Mifo, 0.5, s.seed,
+                           &reg, 0.0, suffix, &cfg);
+      });
+    }
+  }
+  for (const auto sel : {core::AltSelection::LocalGreedy,
+                         core::AltSelection::EndToEndProbe}) {
+    const std::size_t slot =
+        grid + (sel == core::AltSelection::LocalGreedy ? 0 : 1);
+    arms.emplace_back([&, sel, slot] {
+      sim::SimConfig cfg;
+      cfg.alt_selection = sel;
+      const char* suffix =
+          sel == core::AltSelection::LocalGreedy ? ",sel=local" : ",sel=probe";
+      results[slot] = bench::run_arm(g, specs, sim::RoutingMode::Mifo, 0.5,
+                                     s.seed, &reg, 0.0, suffix, &cfg);
+    });
+  }
+  arms.emplace_back([&] {
+    results.back() =
+        bench::run_arm(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed, &reg);
+  });
+  bench::run_arms(s.threads, arms);
 
   std::printf("=== Ablation A3: greedy alternative-selection knobs ===\n");
   std::printf("%-8s %-12s %10s %10s %10s\n", "margin", "extra hops", "mean",
               ">=500", "offload");
-  for (const double margin : {0.0, 0.2, 0.4}) {
-    for (const std::uint16_t hops : {0, 1, 8}) {
-      sim::SimConfig cfg;
-      cfg.mode = sim::RoutingMode::Mifo;
-      cfg.spare_margin = margin;
-      cfg.max_extra_hops = hops;
-      sim::FluidSim fs(g, cfg);
-      fs.set_deployment(deployed);
-      const auto sum = sim::summarize(fs.run(specs));
-      std::printf("%-8.1f %-12u %9.0f %9.1f%% %9.1f%%\n", margin, hops,
-                  sum.mean_throughput, 100.0 * sum.frac_at_500mbps,
-                  100.0 * sum.offload);
+  for (std::size_t mi = 0; mi < margins.size(); ++mi) {
+    for (std::size_t hi = 0; hi < hop_caps.size(); ++hi) {
+      const auto sum =
+          sim::summarize(results[mi * hop_caps.size() + hi].records);
+      std::printf("%-8.1f %-12u %9.0f %9.1f%% %9.1f%%\n", margins[mi],
+                  hop_caps[hi], sum.mean_throughput,
+                  100.0 * sum.frac_at_500mbps, 100.0 * sum.offload);
     }
   }
   std::printf("(BGP baseline mean: %.0f Mbps)\n",
-              sim::summarize(
-                  bench::run_sim(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed))
-                  .mean_throughput);
+              sim::summarize(results.back().records).mean_throughput);
 
   // The paper's design argument (Section III-C): local link monitoring
   // instead of end-to-end path probing. Quantify what the cheap signal
@@ -46,20 +79,13 @@ void print_ablation() {
   std::printf("\n--- local link monitoring (paper) vs end-to-end probing ---\n");
   std::printf("%-16s %10s %10s %10s\n", "selection", "mean", ">=500",
               "offload");
-  for (const auto sel : {core::AltSelection::LocalGreedy,
-                         core::AltSelection::EndToEndProbe}) {
-    sim::SimConfig cfg;
-    cfg.mode = sim::RoutingMode::Mifo;
-    cfg.alt_selection = sel;
-    sim::FluidSim fs(g, cfg);
-    fs.set_deployment(deployed);
-    const auto sum = sim::summarize(fs.run(specs));
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto sum = sim::summarize(results[grid + i].records);
     std::printf("%-16s %9.0f %9.1f%% %9.1f%%\n",
-                sel == core::AltSelection::LocalGreedy ? "local greedy"
-                                                       : "e2e probe",
-                sum.mean_throughput, 100.0 * sum.frac_at_500mbps,
-                100.0 * sum.offload);
+                i == 0 ? "local greedy" : "e2e probe", sum.mean_throughput,
+                100.0 * sum.frac_at_500mbps, 100.0 * sum.offload);
   }
+  bench::emit_run_artifact("ablation_greedy", s, results, &reg);
 }
 
 void BM_GreedyRun(benchmark::State& state) {

@@ -17,7 +17,7 @@ using namespace mifo;
 /// regardless of valley-freeness. Returns true iff the walk loops (exceeds
 /// the 2N hop bound without reaching the destination).
 bool unguarded_walk_loops(const topo::AsGraph& g,
-                          const bgp::DestRoutes& routes, AsId src,
+                          const bgp::RouteStore& routes, AsId src,
                           const core::UtilizationFn& util,
                           double threshold) {
   AsId cur = src;
@@ -32,7 +32,7 @@ bool unguarded_walk_loops(const topo::AsGraph& g,
       double best_spare = 1.0 - util(def_link);
       for (const auto& nb : g.neighbors(cur)) {
         if (nb.as == next) continue;
-        if (!bgp::rib_route_from(g, routes, cur, nb.as)) continue;
+        if (!routes.rib_from(cur, nb.as)) continue;
         const double spare = 1.0 - util(nb.link);
         if (spare > best_spare) {
           best = nb.as;
@@ -58,7 +58,7 @@ void print_ablation() {
   fig2a.add_peering(AsId(1), AsId(2));
   fig2a.add_peering(AsId(2), AsId(3));
   fig2a.add_peering(AsId(3), AsId(1));
-  const auto routes2a = bgp::compute_routes(fig2a, AsId(0));
+  const bgp::RouteStore routes2a(fig2a, AsId(0));
   auto congested_defaults = [&fig2a](LinkId l) {
     // The three direct customer links are congested, peer links idle.
     return fig2a.link_to(l) == AsId(0) ? 0.95 : 0.0;
@@ -74,35 +74,61 @@ void print_ablation() {
   for (const AsId as : guarded.path) std::printf(" %u", as.value());
   std::printf(" (loop-free)\n\n");
 
-  // Generated topologies, adversarial random congestion.
+  // Generated topologies, adversarial random congestion. Per-trial state
+  // (destination draw + split RNG) is pre-drawn serially in the original
+  // master-RNG order, so the concurrent trials are bit-identical to the old
+  // serial sweep.
   const auto s = bench::load_scale(600, 0, 0, 100.0);
   const auto g = bench::make_topology(s);
   Rng rng(s.seed * 131 + 7);
+  constexpr std::size_t kTrials = 20;
+  struct Trial {
+    AsId dest = AsId::invalid();
+    Rng rng{0};
+    std::size_t walks = 0;
+    std::size_t unguarded = 0;
+    std::size_t guarded = 0;
+  };
+  std::vector<Trial> trial_state(kTrials);
+  for (auto& tr : trial_state) {
+    tr.dest = AsId(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
+    tr.rng = rng.split();
+  }
+  const std::vector<bool> all(g.num_ases(), true);
+  std::vector<std::function<void()>> trial_arms;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    trial_arms.emplace_back([&, t] {
+      Trial& tr = trial_state[t];
+      const AsId dest = tr.dest;
+      const bgp::RouteStore routes(g, dest);
+      std::unordered_map<std::uint32_t, double> util_map;
+      Rng& trial_rng = tr.rng;
+      auto util = [&util_map, &trial_rng](LinkId l) -> double {
+        auto [it, inserted] = util_map.try_emplace(l.value(), 0.0);
+        if (inserted) it->second = trial_rng.bernoulli(0.6) ? 0.95 : 0.1;
+        return it->second;
+      };
+      for (std::uint32_t src = 0; src < g.num_ases(); src += 29) {
+        if (AsId(src) == dest || !routes.best(AsId(src)).valid()) continue;
+        ++tr.walks;
+        if (unguarded_walk_loops(g, routes, AsId(src), util, 0.7)) {
+          ++tr.unguarded;
+        }
+        // The guarded walk MIFO_ASSERTs internally on a loop; reaching the
+        // destination is the pass condition.
+        const auto w = core::mifo_walk(g, routes, all, AsId(src), util);
+        if (!w.reachable) ++tr.guarded;
+      }
+    });
+  }
+  bench::run_arms(s.threads, trial_arms);
   std::size_t trials = 0;
   std::size_t unguarded_loops = 0;
   std::size_t guarded_loops = 0;
-  const std::vector<bool> all(g.num_ases(), true);
-  for (int t = 0; t < 20; ++t) {
-    const AsId dest(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
-    const auto routes = bgp::compute_routes(g, dest);
-    std::unordered_map<std::uint32_t, double> util_map;
-    Rng trial_rng = rng.split();
-    auto util = [&util_map, &trial_rng](LinkId l) -> double {
-      auto [it, inserted] = util_map.try_emplace(l.value(), 0.0);
-      if (inserted) it->second = trial_rng.bernoulli(0.6) ? 0.95 : 0.1;
-      return it->second;
-    };
-    for (std::uint32_t src = 0; src < g.num_ases(); src += 29) {
-      if (AsId(src) == dest || !routes.best(AsId(src)).valid()) continue;
-      ++trials;
-      if (unguarded_walk_loops(g, routes, AsId(src), util, 0.7)) {
-        ++unguarded_loops;
-      }
-      // The guarded walk MIFO_ASSERTs internally on a loop; reaching the
-      // destination is the pass condition.
-      const auto w = core::mifo_walk(g, routes, all, AsId(src), util);
-      if (!w.reachable) ++guarded_loops;
-    }
+  for (const Trial& tr : trial_state) {
+    trials += tr.walks;
+    unguarded_loops += tr.unguarded;
+    guarded_loops += tr.guarded;
   }
   std::printf("generated topology (%zu walks, 60%% links congested):\n",
               trials);
@@ -111,12 +137,35 @@ void print_ablation() {
                   static_cast<double>(trials));
   std::printf("  rule ON : %zu walks looped (theorem: always 0)\n",
               guarded_loops);
+
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json::str("mifo.run_artifact.v1"));
+  root.set("bench", obs::Json::str("ablation_loop_rule"));
+  obs::Json scale = obs::Json::object();
+  scale.set("topo_n", obs::Json::num(static_cast<std::uint64_t>(s.topo_n)));
+  scale.set("seed", obs::Json::num(static_cast<std::uint64_t>(s.seed)));
+  root.set("scale", std::move(scale));
+  obs::Json arms = obs::Json::array();
+  for (const auto& [name, loops] :
+       {std::pair<const char*, std::size_t>{"rule_off", unguarded_loops},
+        std::pair<const char*, std::size_t>{"rule_on", guarded_loops}}) {
+    obs::Json a = obs::Json::object();
+    a.set("name", obs::Json::str(name));
+    obs::Json sum = obs::Json::object();
+    sum.set("walks", obs::Json::num(static_cast<std::uint64_t>(trials)));
+    sum.set("looped", obs::Json::num(static_cast<std::uint64_t>(loops)));
+    a.set("summary", std::move(sum));
+    arms.push(std::move(a));
+  }
+  root.set("arms", std::move(arms));
+  const std::string path = obs::write_artifact("ablation_loop_rule", root);
+  if (!path.empty()) std::printf("artifact: %s\n", path.c_str());
 }
 
 void BM_GuardedWalk(benchmark::State& state) {
   const auto s = bench::load_scale(600, 0, 0, 100.0);
   const auto g = bench::make_topology(s);
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(g.num_ases(), true);
   auto util = [](LinkId l) { return (l.value() % 3 == 0) ? 0.9 : 0.1; };
   std::uint32_t src = 1;

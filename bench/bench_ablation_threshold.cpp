@@ -13,32 +13,46 @@ void print_ablation() {
   const auto s = bench::load_scale(400, 8000, 64, 800.0);
   const auto g = bench::make_topology(s);
   const auto specs = bench::make_uniform(g, s);
-  const auto deployed = traffic::random_deployment(g.num_ases(), 0.5,
-                                                   s.seed * 7 + 5);
+  const std::vector<double> thresholds{0.3, 0.5, 0.7, 0.9};
+
+  // One concurrent arm per threshold plus the BGP baseline, all through
+  // run_arm so the sweep lands in the run artifact with solver counters.
+  obs::Registry reg;
+  std::vector<bench::ArmResult> results(thresholds.size() + 1);
+  std::vector<std::function<void()>> arms;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    arms.emplace_back([&, i] {
+      sim::SimConfig cfg;
+      cfg.congest_threshold = thresholds[i];
+      cfg.low_watermark = thresholds[i] * 0.7;
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), ",thr=%.1f", thresholds[i]);
+      results[i] = bench::run_arm(g, specs, sim::RoutingMode::Mifo, 0.5,
+                                  s.seed, &reg, 0.0, suffix, &cfg);
+    });
+  }
+  arms.emplace_back([&] {
+    results.back() =
+        bench::run_arm(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed, &reg);
+  });
+  bench::run_arms(s.threads, arms);
 
   std::printf("=== Ablation A2: congestion threshold sweep (50%% depl.) ===\n");
   std::printf("%-10s %10s %10s %10s %12s\n", "threshold", "mean", ">=500",
               "offload", "avg switches");
-  for (const double thr : {0.3, 0.5, 0.7, 0.9}) {
-    sim::SimConfig cfg;
-    cfg.mode = sim::RoutingMode::Mifo;
-    cfg.congest_threshold = thr;
-    cfg.low_watermark = thr * 0.7;
-    sim::FluidSim fs(g, cfg);
-    fs.set_deployment(deployed);
-    const auto recs = fs.run(specs);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const auto& recs = results[i].records;
     const auto sum = sim::summarize(recs);
     double switches = 0.0;
     for (const auto& r : recs) switches += r.path_switches;
-    std::printf("%-10.1f %9.0f %9.1f%% %9.1f%% %12.2f\n", thr,
+    std::printf("%-10.1f %9.0f %9.1f%% %9.1f%% %12.2f\n", thresholds[i],
                 sum.mean_throughput, 100.0 * sum.frac_at_500mbps,
                 100.0 * sum.offload,
                 switches / static_cast<double>(recs.size()));
   }
   std::printf("(BGP baseline mean for reference: %.0f Mbps)\n",
-              sim::summarize(
-                  bench::run_sim(g, specs, sim::RoutingMode::Bgp, 0.0, s.seed))
-                  .mean_throughput);
+              sim::summarize(results.back().records).mean_throughput);
+  bench::emit_run_artifact("ablation_threshold", s, results, &reg);
 }
 
 void BM_ThresholdRun(benchmark::State& state) {

@@ -112,13 +112,16 @@ struct ArmResult {
 /// run_sim plus observability: solver counters go into `reg` (labelled
 /// `arm=<name>`), link utilization is sampled every `sample_interval`
 /// seconds (0 disables). Safe to call from run_arms workers — registry
-/// registration is thread-safe and each arm owns its shard.
+/// registration is thread-safe and each arm owns its shard. `base_cfg`
+/// seeds the SimConfig (ablation knobs: thresholds, margins, selection);
+/// the routing mode always comes from `mode`.
 inline ArmResult run_arm(const topo::AsGraph& g,
                          const std::vector<traffic::FlowSpec>& specs,
                          sim::RoutingMode mode, double deploy_ratio,
                          std::uint64_t seed, obs::Registry* reg = nullptr,
                          SimTime sample_interval = 0.0,
-                         const std::string& name_suffix = {}) {
+                         const std::string& name_suffix = {},
+                         const sim::SimConfig* base_cfg = nullptr) {
   ArmResult r;
   r.mode = sim::to_string(mode);
   r.deploy_ratio = deploy_ratio;
@@ -126,7 +129,7 @@ inline ArmResult run_arm(const topo::AsGraph& g,
   std::snprintf(name, sizeof(name), "%s@%.0f%s", r.mode.c_str(),
                 100.0 * deploy_ratio, name_suffix.c_str());
   r.name = name;
-  sim::SimConfig cfg;
+  sim::SimConfig cfg = base_cfg != nullptr ? *base_cfg : sim::SimConfig{};
   cfg.mode = mode;
   sim::FluidSim fs(g, cfg);
   if (reg != nullptr) fs.attach_registry(*reg, "arm=" + r.name);

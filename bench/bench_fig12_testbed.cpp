@@ -23,12 +23,20 @@ void print_fig12() {
   params.flow_size = env_u64("MIFO_FLOW_MB", 10) * kMegaByte;
   params.flows_per_pair = env_u64("MIFO_FLOWS_PER_PAIR", 30);
   params.bucket = 0.25;
+  params.link_sample_interval = 0.05;
 
+  // The two emulation arms are independent (each owns its Network); fan
+  // them out over the shared pool like the fluid-sim benches do.
   testbed::Fig12Result res[2];
-  for (const bool mifo : {false, true}) {
-    params.mifo = mifo;
-    res[mifo ? 1 : 0] = testbed::run_fig12(params);
+  std::vector<std::function<void()>> arms;
+  for (const bool with_mifo : {false, true}) {
+    arms.emplace_back([&params, &res, with_mifo] {
+      testbed::Fig12Params p = params;
+      p.mifo = with_mifo;
+      res[with_mifo ? 1 : 0] = testbed::run_fig12(p);
+    });
   }
+  bench::run_arms(default_thread_count(), arms);
   const auto& bgp = res[0];
   const auto& mifo = res[1];
 
@@ -73,6 +81,44 @@ void print_fig12() {
               static_cast<unsigned long long>(mifo.counters.encapsulated),
               static_cast<unsigned long long>(mifo.counters.flow_switches),
               static_cast<unsigned long long>(mifo.counters.ttl_drops));
+
+  // Run artifact with the per-link congestion traces (packet plane).
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json::str("mifo.run_artifact.v1"));
+  root.set("bench", obs::Json::str("fig12_testbed"));
+  obs::Json scale = obs::Json::object();
+  scale.set("flow_mb",
+            obs::Json::num(static_cast<std::uint64_t>(
+                params.flow_size / kMegaByte)));
+  scale.set("flows_per_pair",
+            obs::Json::num(static_cast<std::uint64_t>(params.flows_per_pair)));
+  root.set("scale", std::move(scale));
+  obs::Json ja = obs::Json::array();
+  for (const bool with_mifo : {false, true}) {
+    const auto& r = res[with_mifo ? 1 : 0];
+    Cdf cdf;
+    cdf.add_all(r.fct);
+    obs::Json a = obs::Json::object();
+    a.set("name", obs::Json::str(with_mifo ? "MIFO" : "BGP"));
+    obs::Json sum = obs::Json::object();
+    sum.set("flows", obs::Json::num(static_cast<std::uint64_t>(r.fct.size())));
+    sum.set("aggregate_gbps", obs::Json::num(r.aggregate_gbps));
+    sum.set("total_time_s", obs::Json::num(r.total_time));
+    sum.set("median_fct_s", obs::Json::num(cdf.quantile(0.5)));
+    sum.set("max_fct_s", obs::Json::num(cdf.quantile(1.0)));
+    a.set("summary", std::move(sum));
+    obs::Json ctr = obs::Json::object();
+    ctr.set("deflected", obs::Json::num(r.counters.deflected));
+    ctr.set("encapsulated", obs::Json::num(r.counters.encapsulated));
+    ctr.set("flow_switches", obs::Json::num(r.counters.flow_switches));
+    ctr.set("ttl_drops", obs::Json::num(r.counters.ttl_drops));
+    a.set("counters", std::move(ctr));
+    a.set("links", obs::to_json(r.link_samples));
+    ja.push(std::move(a));
+  }
+  root.set("arms", std::move(ja));
+  const std::string path = obs::write_artifact("fig12_testbed", root);
+  if (!path.empty()) std::printf("\nartifact: %s\n", path.c_str());
 }
 
 void BM_TestbedRun(benchmark::State& state) {

@@ -39,7 +39,7 @@ void print_fig7() {
   Rng rng(s.seed * 11 + 2);
   for (std::size_t d = 0; d < num_dests; ++d) {
     const AsId dest(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
-    const auto routes = bgp::compute_routes(g, dest);
+    const bgp::RouteStore routes(g, dest);
     const auto mifo_half = bgp::count_mifo_paths(g, routes, order, half);
     const auto mifo_full = bgp::count_mifo_paths(g, routes, order, full);
     for (std::uint32_t src = 0; src < g.num_ases(); src += 16) {
@@ -88,7 +88,7 @@ void BM_PathCountDp(benchmark::State& state) {
   const auto g = topo::generate_topology(gp);
   const auto order = topo::pc_topological_order(g);
   const std::vector<bool> all(g.num_ases(), true);
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   for (auto _ : state) {
     auto counts = bgp::count_mifo_paths(g, routes, order, all);
     benchmark::DoNotOptimize(counts.tagged.data());

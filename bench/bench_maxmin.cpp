@@ -2,6 +2,7 @@
 // progressive-filling allocator is the inner loop of every Fig. 5/6/8/9
 // experiment.
 
+#include <algorithm>
 #include <set>
 #include <span>
 
@@ -88,6 +89,36 @@ void BM_FluidSimEvents(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * specs.size());
 }
 BENCHMARK(BM_FluidSimEvents)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+// The per-destination route-cache warmup every simulated run pays before
+// its first event: one CSR RouteStore per destination in the pool. The
+// csr_bytes counter records the warmed cache's resident footprint (the
+// sim.route_cache_bytes gauge), so both warmup time and memory land in
+// BENCH_bench_maxmin.json.
+void BM_RouteCacheWarmup(benchmark::State& state) {
+  const auto s = bench::load_scale(
+      static_cast<std::size_t>(state.range(0)), 0, 64, 800.0);
+  const auto g = bench::make_topology(s);
+  const std::uint32_t dests = static_cast<std::uint32_t>(
+      std::min<std::size_t>(s.dest_pool, g.num_ases()));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.threads = 1;
+    sim::FluidSim fs(g, cfg);
+    bytes = 0;
+    for (std::uint32_t d = 0; d < dests; ++d) {
+      bytes += fs.routes_for(AsId(d)).bytes();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["csr_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * dests);
+}
+BENCHMARK(BM_RouteCacheWarmup)
+    ->Arg(400)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void print_header() {
   std::printf("=== Ablation A5: max-min solver / fluid simulator scaling ===\n"

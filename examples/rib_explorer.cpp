@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
 
   const auto order = topo::pc_topological_order(g);
   const std::vector<bool> all(g.num_ases(), true);
-  const auto counts = bgp::count_mifo_paths(g, routes, order, all);
+  const auto counts =
+      bgp::count_mifo_paths(g, bgp::RouteStore(g, routes), order, all);
   std::printf("  MIFO-realizable forwarding paths (full deployment): %.0f\n",
               counts.paths_from(src));
   return 0;

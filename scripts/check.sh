@@ -3,10 +3,11 @@
 # tests (including run-artifact schema validation), the static
 # forwarding-state verifier (tools/mifo-verify, docs/VERIFICATION.md), the
 # clang-tidy pass (scripts/lint.sh — skipped when LLVM is absent), then the
-# concurrency-sensitive tests once under ThreadSanitizer and the whole
-# suite once under UBSan (MIFO_SANITIZE; see the top-level CMakeLists).
+# concurrency-sensitive tests once under ThreadSanitizer, the whole suite
+# once under UBSan (MIFO_SANITIZE; see the top-level CMakeLists), and the
+# gcov coverage leg (scripts/coverage.sh; MIFO_SKIP_COVERAGE=1 to skip).
 #
-#   scripts/check.sh [build_dir] [tsan_build_dir] [ubsan_build_dir]
+#   scripts/check.sh [build_dir] [tsan_build_dir] [ubsan_build_dir] [cov_dir]
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -150,5 +151,12 @@ cmake -B "$ubsan_dir" -S . -DMIFO_SANITIZE=undefined
 cmake --build "$ubsan_dir" -j "$jobs"
 ctest --test-dir "$ubsan_dir" --output-on-failure -j "$jobs"
 
+echo "=== coverage: gcov over the tier-1 suite (scripts/coverage.sh) ==="
+if [[ "${MIFO_SKIP_COVERAGE:-0}" == "1" ]]; then
+  echo "coverage: skipped (MIFO_SKIP_COVERAGE=1)"
+else
+  scripts/coverage.sh "${4:-build-cov}"
+fi
+
 echo "OK: tier-1 suite, example smoke tests, artifact schema, verifier," \
-     "lint, TSan, and UBSan all passed"
+     "lint, TSan, UBSan, and coverage all passed"

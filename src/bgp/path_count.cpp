@@ -9,39 +9,14 @@ namespace {
 /// True when `as` holds a customer route (or originates the prefix) — the
 /// condition under which it exports towards peers and providers, and the
 /// only kind of AS a Flat/Down step may enter.
-bool exports_upward(const DestRoutes& routes, AsId as) {
+bool exports_upward(const RouteStore& routes, AsId as) {
   const RouteClass c = routes.best(as).cls;
   return c == RouteClass::Customer || c == RouteClass::Self;
 }
 
-/// Best-path chains for BGP loop detection: chains[v] lists the ASes on
-/// v's announced (best) path, v first. An AS on a neighbor's chain never
-/// receives that announcement.
-std::vector<std::vector<std::uint32_t>> best_chains(
-    const topo::AsGraph& g, const DestRoutes& routes) {
-  std::vector<std::vector<std::uint32_t>> chains(g.num_ases());
-  for (std::uint32_t v = 0; v < g.num_ases(); ++v) {
-    if (!routes.best(AsId(v)).valid()) continue;
-    AsId hop(v);
-    chains[v].push_back(hop.value());
-    while (hop != routes.dest()) {
-      hop = routes.best(hop).next_hop;
-      chains[v].push_back(hop.value());
-    }
-  }
-  return chains;
-}
-
-bool poisoned(const std::vector<std::uint32_t>& chain, AsId importer) {
-  for (const std::uint32_t hop : chain) {
-    if (hop == importer.value()) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
-PathCounts count_mifo_paths(const topo::AsGraph& g, const DestRoutes& routes,
+PathCounts count_mifo_paths(const topo::AsGraph& g, const RouteStore& routes,
                             const std::vector<AsId>& order,
                             const std::vector<bool>& deployed) {
   const std::size_t n = g.num_ases();
@@ -53,7 +28,6 @@ PathCounts count_mifo_paths(const topo::AsGraph& g, const DestRoutes& routes,
   PathCounts pc;
   pc.tagged.assign(n, 0.0);
   pc.untagged.assign(n, 0.0);
-  const auto chains = best_chains(g, routes);
 
   // ---- g (tag = 0): only Down steps remain; customers precede providers
   // in the evaluation, i.e. reverse topological order.
@@ -68,7 +42,7 @@ PathCounts count_mifo_paths(const topo::AsGraph& g, const DestRoutes& routes,
       for (const auto& nb : g.neighbors(v)) {
         if (nb.rel != topo::Rel::Customer) continue;
         if (!exports_upward(routes, nb.as)) continue;
-        if (poisoned(chains[nb.as.value()], v)) continue;
+        if (routes.on_best_path(v, nb.as)) continue;
         total += pc.untagged[nb.as.value()];
       }
     } else {
@@ -88,7 +62,7 @@ PathCounts count_mifo_paths(const topo::AsGraph& g, const DestRoutes& routes,
     double total = 0.0;
     if (deployed[v.value()]) {
       for (const auto& nb : g.neighbors(v)) {
-        if (poisoned(chains[nb.as.value()], v)) continue;  // loop detection
+        if (routes.on_best_path(v, nb.as)) continue;  // loop detection
         switch (nb.rel) {
           case topo::Rel::Provider:
             // The provider exports everything to us; f(p)=0 iff it has no

@@ -19,7 +19,7 @@
 
 #include <vector>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "topo/as_graph.hpp"
 
 namespace mifo::bgp {
@@ -39,7 +39,7 @@ struct PathCounts {
 /// `order` must be a providers-first topological order of the P/C digraph
 /// (topo::pc_topological_order).
 [[nodiscard]] PathCounts count_mifo_paths(const topo::AsGraph& g,
-                                          const DestRoutes& routes,
+                                          const RouteStore& routes,
                                           const std::vector<AsId>& order,
                                           const std::vector<bool>& deployed);
 

@@ -71,6 +71,20 @@ struct Route {
   friend constexpr bool operator==(const Route&, const Route&) = default;
 };
 
+/// Inverse of `classify` for RIB entries: the relationship of the neighbor a
+/// route of this class was learned over. Only meaningful for routes that
+/// actually sit in a RIB (Customer/Peer/Provider).
+[[nodiscard]] constexpr topo::Rel rel_of(RouteClass c) {
+  switch (c) {
+    case RouteClass::Customer:
+      return topo::Rel::Customer;
+    case RouteClass::Provider:
+      return topo::Rel::Provider;
+    default:
+      return topo::Rel::Peer;
+  }
+}
+
 /// Export rule (valley-free economics, Gao & Rexford): a route may be
 /// exported to a customer always; to a peer or provider only if it is a
 /// customer route or the exporter originates the prefix.

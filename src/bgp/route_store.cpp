@@ -1,0 +1,167 @@
+#include "bgp/route_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace mifo::bgp {
+
+RouteStore::RouteStore(const topo::AsGraph& g, AsId dest)
+    : RouteStore(g, compute_routes(g, dest)) {}
+
+RouteStore::RouteStore(const topo::AsGraph& g, const DestRoutes& routes)
+    : g_(&g), dest_(routes.dest()) {
+  MIFO_EXPECTS(routes.num_ases() == g.num_ases());
+  build(routes);
+}
+
+const Route& RouteStore::best(AsId as) const {
+  MIFO_EXPECTS(as.value() < best_.size());
+  return best_[as.value()];
+}
+
+std::span<const Route> RouteStore::rib(AsId as) const {
+  MIFO_EXPECTS(as.value() < best_.size());
+  return {rib_.data() + rib_off_[as.value()],
+          rib_off_[as.value() + 1] - rib_off_[as.value()]};
+}
+
+std::span<const AsId> RouteStore::path(AsId src) const {
+  MIFO_EXPECTS(src.value() < best_.size());
+  return {path_nodes_.data() + path_off_[src.value()],
+          path_off_[src.value() + 1] - path_off_[src.value()]};
+}
+
+bool RouteStore::on_best_path(AsId as, AsId of) const {
+  MIFO_EXPECTS(as.value() < best_.size() && of.value() < best_.size());
+  if (!best_[as.value()].valid() || !best_[of.value()].valid()) return false;
+  return tin_[as.value()] <= tin_[of.value()] &&
+         tout_[of.value()] <= tout_[as.value()];
+}
+
+std::optional<Route> RouteStore::rib_from(AsId as, AsId neighbor) const {
+  const auto rel_to_as = g_->rel(as, neighbor);  // what neighbor is to `as`
+  MIFO_EXPECTS(rel_to_as.has_value());
+  const Route& offer = best_[neighbor.value()];
+  if (!offer.valid()) return std::nullopt;
+  if (!may_export(offer.cls, topo::reverse(*rel_to_as))) return std::nullopt;
+  // BGP loop poisoning: the neighbor's announced AS path is its best chain
+  // (neighbor..dest inclusive); `as` rejects the announcement iff it appears
+  // on it. Ancestor-or-self in the best-route tree, O(1) via Euler tour.
+  if (on_best_path(as, neighbor)) return std::nullopt;
+  return Route{classify(*rel_to_as),
+               static_cast<std::uint16_t>(offer.path_len + 1), neighbor};
+}
+
+std::size_t RouteStore::bytes() const {
+  return best_.size() * sizeof(Route) + rib_.size() * sizeof(Route) +
+         rib_off_.size() * sizeof(std::uint32_t) +
+         path_off_.size() * sizeof(std::uint32_t) +
+         path_nodes_.size() * sizeof(AsId) +
+         (tin_.size() + tout_.size()) * sizeof(std::uint32_t);
+}
+
+void RouteStore::build(const DestRoutes& routes) {
+  const std::size_t n = routes.num_ases();
+  const auto all = routes.all();
+  best_.assign(all.begin(), all.end());
+  for (const Route& r : best_) {
+    if (r.valid()) ++reachable_;
+  }
+
+  // ---- Euler tour of the best-route tree (children CSR, then DFS). -------
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  std::vector<std::uint32_t> child_off(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_[i].valid() && AsId(static_cast<std::uint32_t>(i)) != dest_) {
+      ++child_off[best_[i].next_hop.value() + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) child_off[i + 1] += child_off[i];
+  std::vector<std::uint32_t> children(child_off[n]);
+  {
+    std::vector<std::uint32_t> cursor(child_off.begin(), child_off.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (best_[i].valid() && AsId(static_cast<std::uint32_t>(i)) != dest_) {
+        children[cursor[best_[i].next_hop.value()]++] =
+            static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+  if (n > 0) {
+    std::uint32_t timer = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+    stack.reserve(64);
+    tin_[dest_.value()] = ++timer;
+    stack.emplace_back(dest_.value(), child_off[dest_.value()]);
+    while (!stack.empty()) {
+      const auto [v, cur] = stack.back();
+      if (cur < child_off[v + 1]) {
+        ++stack.back().second;
+        const std::uint32_t c = children[cur];
+        tin_[c] = ++timer;
+        stack.emplace_back(c, child_off[c]);
+      } else {
+        tout_[v] = timer;
+        stack.pop_back();
+      }
+    }
+    MIFO_ASSERT(timer == reachable_);  // every reachable AS visited once
+  }
+
+  // ---- Path CSR: one chain walk per reachable AS. ------------------------
+  path_off_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    path_off_[i + 1] = path_off_[i] +
+                       (best_[i].valid() ? best_[i].path_len + 1u : 0u);
+  }
+  path_nodes_.resize(path_off_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!best_[i].valid()) continue;
+    std::uint32_t at = path_off_[i];
+    AsId cur(static_cast<std::uint32_t>(i));
+    path_nodes_[at++] = cur;
+    while (cur != dest_) {
+      cur = best_[cur.value()].next_hop;
+      path_nodes_[at++] = cur;
+    }
+    MIFO_ASSERT(at == path_off_[i + 1]);  // path_len matches chain length
+  }
+
+  // ---- RIB CSR: count, offset, fill, then sort each row best-first. ------
+  rib_off_.assign(n + 1, 0);
+  auto offered = [this](AsId as, const topo::Neighbor& nb) -> std::optional<Route> {
+    const Route& offer = best_[nb.as.value()];
+    if (!offer.valid()) return std::nullopt;
+    if (!may_export(offer.cls, topo::reverse(nb.rel))) return std::nullopt;
+    if (on_best_path(as, nb.as)) return std::nullopt;  // poisoned
+    return Route{classify(nb.rel),
+                 static_cast<std::uint16_t>(offer.path_len + 1), nb.as};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    if (as == dest_) continue;  // the destination imports nothing
+    std::uint32_t count = 0;
+    for (const auto& nb : g_->neighbors(as)) {
+      if (offered(as, nb)) ++count;
+    }
+    rib_off_[i + 1] = count;
+  }
+  for (std::size_t i = 0; i < n; ++i) rib_off_[i + 1] += rib_off_[i];
+  rib_.resize(rib_off_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AsId as(static_cast<std::uint32_t>(i));
+    if (as == dest_) continue;
+    std::uint32_t at = rib_off_[i];
+    for (const auto& nb : g_->neighbors(as)) {
+      if (const auto r = offered(as, nb)) rib_[at++] = *r;
+    }
+    MIFO_ASSERT(at == rib_off_[i + 1]);
+    std::sort(rib_.begin() + rib_off_[i], rib_.begin() + rib_off_[i + 1],
+              [](const Route& a, const Route& b) { return a.better_than(b); });
+  }
+}
+
+}  // namespace mifo::bgp

@@ -17,25 +17,20 @@ double spare_of(const UtilizationFn& utilization, LinkId l) {
 /// End-to-end bottleneck spare along `via`'s default path towards the
 /// destination, prefixed by the local link into `via` (the probing-based
 /// scheme the paper rejects as too slow/expensive; see AltSelection).
-double probe_spare(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+double probe_spare(const topo::AsGraph& g, const bgp::RouteStore& routes,
                    AsId cur, AsId via, const UtilizationFn& utilization) {
+  if (!routes.best(via).valid()) return 0.0;
   double spare = spare_of(utilization, g.link(cur, via));
-  AsId hop = via;
-  std::size_t guard = 0;
-  while (hop != routes.dest()) {
-    const bgp::Route& r = routes.best(hop);
-    if (!r.valid()) return 0.0;
-    spare = std::min(spare,
-                     spare_of(utilization, g.link(hop, r.next_hop)));
-    hop = r.next_hop;
-    if (++guard > routes.num_ases()) return 0.0;
+  const auto path = routes.path(via);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    spare = std::min(spare, spare_of(utilization, g.link(path[i], path[i + 1])));
   }
   return spare;
 }
 
 }  // namespace
 
-WalkResult mifo_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+WalkResult mifo_walk(const topo::AsGraph& g, const bgp::RouteStore& routes,
                      const std::vector<bool>& deployed, AsId src,
                      const UtilizationFn& utilization,
                      const WalkConfig& cfg) {
@@ -68,18 +63,17 @@ WalkResult mifo_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
           (probe ? probe_spare(g, routes, cur, next, utilization)
                  : spare_of(utilization, def_link)) +
           cfg.min_spare_margin;
-      for (const auto& nb : g.neighbors(cur)) {
-        if (nb.as == next) continue;
-        if (!topo::check_bit(tag, nb.rel)) continue;  // valley-free gate
-        const auto offer = bgp::rib_route_from(g, routes, cur, nb.as);
-        if (!offer) continue;
-        if (offer->path_len > def.path_len + cfg.max_extra_hops) continue;
+      for (const bgp::Route& offer : routes.rib(cur)) {
+        const AsId alt = offer.next_hop;
+        if (alt == next) continue;
+        if (!topo::check_bit(tag, bgp::rel_of(offer.cls))) continue;  // valley-free gate
+        if (offer.path_len > def.path_len + cfg.max_extra_hops) continue;
         const double spare =
-            probe ? probe_spare(g, routes, cur, nb.as, utilization)
-                  : spare_of(utilization, nb.link);
+            probe ? probe_spare(g, routes, cur, alt, utilization)
+                  : spare_of(utilization, g.link(cur, alt));
         if (spare > best_spare ||
-            (best.valid() && spare == best_spare && nb.as < best)) {
-          best = nb.as;
+            (best.valid() && spare == best_spare && alt < best)) {
+          best = alt;
           best_spare = spare;
         }
       }
@@ -108,14 +102,14 @@ WalkResult mifo_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
   return res;
 }
 
-WalkResult bgp_walk(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+WalkResult bgp_walk(const topo::AsGraph& g, const bgp::RouteStore& routes,
                     AsId src) {
   WalkResult res;
-  const auto path = bgp::as_path(g, routes, src);
+  const auto path = routes.path(src);
   if (path.empty()) return res;
   res.reachable = true;
-  res.path = path;
-  res.links = links_of_path(g, path);
+  res.path.assign(path.begin(), path.end());
+  res.links = links_of_path(g, res.path);
   return res;
 }
 

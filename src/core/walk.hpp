@@ -13,7 +13,7 @@
 #include <functional>
 #include <vector>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "topo/as_graph.hpp"
 
 namespace mifo::core {
@@ -60,7 +60,7 @@ struct WalkResult {
 /// Forward from `src` towards routes.dest() under MIFO with the given
 /// deployment and congestion state.
 [[nodiscard]] WalkResult mifo_walk(const topo::AsGraph& g,
-                                   const bgp::DestRoutes& routes,
+                                   const bgp::RouteStore& routes,
                                    const std::vector<bool>& deployed,
                                    AsId src, const UtilizationFn& utilization,
                                    const WalkConfig& cfg = {});
@@ -68,7 +68,7 @@ struct WalkResult {
 /// Plain BGP forwarding (the default path) expressed as a WalkResult, for
 /// uniform handling in the simulator.
 [[nodiscard]] WalkResult bgp_walk(const topo::AsGraph& g,
-                                  const bgp::DestRoutes& routes, AsId src);
+                                  const bgp::RouteStore& routes, AsId src);
 
 /// The links of an explicit AS path.
 [[nodiscard]] std::vector<LinkId> links_of_path(const topo::AsGraph& g,

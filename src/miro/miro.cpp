@@ -1,13 +1,11 @@
 #include "miro/miro.hpp"
 
-#include <algorithm>
-
 #include "common/contracts.hpp"
 
 namespace mifo::miro {
 
 std::vector<bgp::Route> alternatives(const topo::AsGraph& g,
-                                     const bgp::DestRoutes& routes, AsId src,
+                                     const bgp::RouteStore& routes, AsId src,
                                      const std::vector<bool>& deployed,
                                      const MiroConfig& cfg) {
   MIFO_EXPECTS(src.value() < g.num_ases());
@@ -17,24 +15,18 @@ std::vector<bgp::Route> alternatives(const topo::AsGraph& g,
   const bgp::Route& def = routes.best(src);
   if (!def.valid() || def.cls == bgp::RouteClass::Self) return alts;
 
-  for (const auto& nb : g.neighbors(src)) {
-    if (nb.as == def.next_hop) continue;
-    if (!deployed[nb.as.value()]) continue;  // bilateral negotiation
-    const auto offer = bgp::rib_route_from(g, routes, src, nb.as);
-    if (!offer) continue;
+  for (const bgp::Route& offer : routes.rib(src)) {
+    if (offer.next_hop == def.next_hop) continue;
+    if (!deployed[offer.next_hop.value()]) continue;  // bilateral negotiation
     // Strict policy: same local preference class as the default only.
-    if (offer->cls != def.cls) continue;
-    alts.push_back(*offer);
+    if (offer.cls != def.cls) continue;
+    alts.push_back(offer);
+    if (alts.size() == cfg.max_alternatives) break;
   }
-  std::sort(alts.begin(), alts.end(),
-            [](const bgp::Route& a, const bgp::Route& b) {
-              return a.better_than(b);
-            });
-  if (alts.size() > cfg.max_alternatives) alts.resize(cfg.max_alternatives);
   return alts;
 }
 
-std::size_t path_count(const topo::AsGraph& g, const bgp::DestRoutes& routes,
+std::size_t path_count(const topo::AsGraph& g, const bgp::RouteStore& routes,
                        AsId src, const std::vector<bool>& deployed,
                        const MiroConfig& cfg) {
   const bgp::Route& def = routes.best(src);
@@ -44,12 +36,14 @@ std::size_t path_count(const topo::AsGraph& g, const bgp::DestRoutes& routes,
 }
 
 std::vector<AsId> alt_path(const topo::AsGraph& g,
-                           const bgp::DestRoutes& routes, AsId src,
+                           const bgp::RouteStore& routes, AsId src,
                            AsId via) {
+  (void)g;
   std::vector<AsId> path;
-  if (!routes.best(via).valid()) return path;
+  const auto tail = routes.path(via);
+  if (tail.empty()) return path;
+  path.reserve(tail.size() + 1);
   path.push_back(src);
-  const auto tail = bgp::as_path(g, routes, via);
   path.insert(path.end(), tail.begin(), tail.end());
   return path;
 }

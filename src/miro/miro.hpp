@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "topo/as_graph.hpp"
 
 namespace mifo::miro {
@@ -26,20 +26,20 @@ struct MiroConfig {
 /// `src` and the alternate next-hop AS to be MIRO-deployed (the tunnel is
 /// negotiated bilaterally); returns empty otherwise.
 [[nodiscard]] std::vector<bgp::Route> alternatives(
-    const topo::AsGraph& g, const bgp::DestRoutes& routes, AsId src,
+    const topo::AsGraph& g, const bgp::RouteStore& routes, AsId src,
     const std::vector<bool>& deployed, const MiroConfig& cfg = {});
 
 /// Total number of distinct paths MIRO gives the pair (src, dest):
 /// the default plus the surviving alternatives; 0 when unreachable.
 [[nodiscard]] std::size_t path_count(const topo::AsGraph& g,
-                                     const bgp::DestRoutes& routes, AsId src,
+                                     const bgp::RouteStore& routes, AsId src,
                                      const std::vector<bool>& deployed,
                                      const MiroConfig& cfg = {});
 
 /// The full AS path of the alternative through `via` (src prepended to via's
 /// default path). Empty when via has no route.
 [[nodiscard]] std::vector<AsId> alt_path(const topo::AsGraph& g,
-                                         const bgp::DestRoutes& routes,
+                                         const bgp::RouteStore& routes,
                                          AsId src, AsId via);
 
 }  // namespace mifo::miro

@@ -39,16 +39,20 @@ void FluidSim::attach_registry(obs::Registry& reg, const std::string& labels) {
   m_ticks_ = reg.counter("sim.ticks", labels);
   m_solver_runs_ = reg.counter("sim.solver_runs", labels);
   m_reroutes_ = reg.counter("sim.reroutes", labels);
+  m_cache_bytes_ = reg.gauge("sim.route_cache_bytes", labels);
   shard_ = &reg.create_shard();
+  shard_->set(m_cache_bytes_, static_cast<double>(cache_bytes_));
 }
 
-const bgp::DestRoutes& FluidSim::routes_for(AsId dest) {
+const bgp::RouteStore& FluidSim::routes_for(AsId dest) {
   auto it = cache_.find(dest.value());
   if (it == cache_.end()) {
     it = cache_
-             .emplace(dest.value(), std::make_unique<bgp::DestRoutes>(
-                                        bgp::compute_routes(g_, dest)))
+             .emplace(dest.value(),
+                      std::make_unique<bgp::RouteStore>(g_, dest))
              .first;
+    cache_bytes_ += it->second->bytes();
+    if (shard_) shard_->set(m_cache_bytes_, static_cast<double>(cache_bytes_));
   }
   return *it->second;
 }
@@ -69,15 +73,16 @@ void FluidSim::warm_route_cache(std::span<const traffic::FlowSpec> specs) {
 
   // compute_routes is pure per destination, so each slot is independent;
   // the cache itself is only touched from this thread, after the join.
-  std::vector<std::unique_ptr<bgp::DestRoutes>> computed(dests.size());
+  std::vector<std::unique_ptr<bgp::RouteStore>> computed(dests.size());
   ThreadPool pool(std::min(threads, dests.size()));
   parallel_for(pool, dests.size(), [this, &dests, &computed](std::size_t i) {
-    computed[i] = std::make_unique<bgp::DestRoutes>(
-        bgp::compute_routes(g_, AsId(dests[i])));
+    computed[i] = std::make_unique<bgp::RouteStore>(g_, AsId(dests[i]));
   });
   for (std::size_t i = 0; i < dests.size(); ++i) {
+    cache_bytes_ += computed[i]->bytes();
     cache_.emplace(dests[i], std::move(computed[i]));
   }
+  if (shard_) shard_->set(m_cache_bytes_, static_cast<double>(cache_bytes_));
 }
 
 void FluidSim::schedule_capacity_event(SimTime t, LinkId link, double factor) {
@@ -92,7 +97,7 @@ double FluidSim::utilization(std::uint32_t link) const {
 }
 
 core::WalkResult FluidSim::route_flow(AsId src, AsId dest) {
-  const bgp::DestRoutes& routes = routes_for(dest);
+  const bgp::RouteStore& routes = routes_for(dest);
   switch (cfg_.mode) {
     case RoutingMode::Bgp:
       return core::bgp_walk(g_, routes, src);

@@ -13,7 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "core/walk.hpp"
 #include "miro/miro.hpp"
 #include "obs/registry.hpp"
@@ -95,8 +95,8 @@ class FluidSim {
   /// and resets all capacities to link_capacity at its start.
   void schedule_capacity_event(SimTime t, LinkId link, double factor);
 
-  /// Converged routes towards `dest` (cached; exposed for tests).
-  [[nodiscard]] const bgp::DestRoutes& routes_for(AsId dest);
+  /// Converged routes towards `dest` (cached CSR store; exposed for tests).
+  [[nodiscard]] const bgp::RouteStore& routes_for(AsId dest);
 
   // --- observability ---------------------------------------------------------
   /// Attach a metrics registry; solver counters (sim.arrivals, sim.ticks,
@@ -144,7 +144,8 @@ class FluidSim {
   SimConfig cfg_;
   std::vector<bool> deployed_;
   std::vector<CapacityEvent> cap_events_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<bgp::DestRoutes>> cache_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<bgp::RouteStore>> cache_;
+  std::size_t cache_bytes_ = 0;  ///< resident footprint of cache_ stores
   std::vector<double> capacity_;  ///< per directed link
   std::vector<double> alloc_;    ///< per directed link, allocated Mbps
   std::vector<ActiveFlow> active_;
@@ -161,6 +162,7 @@ class FluidSim {
   obs::MetricId m_ticks_ = 0;
   obs::MetricId m_solver_runs_ = 0;
   obs::MetricId m_reroutes_ = 0;
+  obs::MetricId m_cache_bytes_ = 0;
   SimTime sample_interval_ = 0.0;
   SimTime next_sample_ = 0.0;
   obs::UtilSeries samples_;

@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "common/contracts.hpp"
 
 namespace mifo::testbed {
@@ -117,7 +117,7 @@ Emulation EmulationBuilder::finalize() {
   // FIBs + per-AS prefix knowledge, one destination prefix per host.
   std::vector<std::vector<core::PrefixRoutes>> prefix_routes(g_.num_ases());
   for (const auto& att : em.hosts) {
-    const auto routes = bgp::compute_routes(g_, att.as);
+    const bgp::RouteStore routes(g_, att.as);
     for (std::size_t x = 0; x < g_.num_ases(); ++x) {
       const AsId as(static_cast<std::uint32_t>(x));
       const auto& routers = plan.routers_of(as);
@@ -156,7 +156,7 @@ Emulation EmulationBuilder::finalize() {
       pr.default_neighbor = best.next_hop;
       for (const auto& nb : g_.neighbors(as)) {
         if (nb.as == best.next_hop) continue;
-        if (bgp::rib_route_from(g_, routes, as, nb.as)) {
+        if (routes.rib_from(as, nb.as)) {
           pr.alternatives.push_back(nb.as);
         }
       }

@@ -46,6 +46,9 @@ Fig12Result run_fig12(const Fig12Params& params) {
     em.enable_mifo({ids.as3}, params.router_config, params.daemon_interval);
   }
   net.enable_delivery_trace(params.bucket);
+  if (params.link_sample_interval > 0.0) {
+    net.enable_link_sampling(params.link_sample_interval);
+  }
 
   // Both pairs stream their flows back-to-back ("one after another"),
   // starting at t=0 simultaneously.
@@ -101,6 +104,13 @@ Fig12Result run_fig12(const Fig12Params& params) {
   res.aggregate_gbps =
       last_finish > 0 ? to_megabits(delivered) / last_finish / 1000.0 : 0.0;
   res.counters = net.total_counters();
+  res.link_samples = net.link_samples();
+  // Periodic events (sampler, daemon ticks) self-reschedule all the way to
+  // the time cap; every sample row past workload completion is a zero.
+  const SimTime cutoff = last_finish + params.bucket;
+  std::erase_if(res.link_samples, [cutoff](const obs::LinkSample& s) {
+    return s.t > cutoff;
+  });
   return res;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/timeseries.hpp"
 #include "testbed/emulation.hpp"
 #include "topo/as_graph.hpp"
 
@@ -43,6 +44,9 @@ struct Fig12Params {
   SimTime time_cap = 600.0;
   dp::RouterConfig router_config{};
   SimTime daemon_interval = 0.005;
+  /// Per-link utilization sampling period for the run artifact's congestion
+  /// traces (dp::Network::enable_link_sampling); 0 disables (the default).
+  SimTime link_sample_interval = 0.0;
 };
 
 struct Fig12Result {
@@ -52,6 +56,8 @@ struct Fig12Result {
   SimTime total_time = 0.0;           ///< time to complete all flows
   double aggregate_gbps = 0.0;        ///< delivered bits / total time
   dp::RouterCounters counters;        ///< summed router counters
+  /// Per-link congestion trace (empty unless link_sample_interval > 0).
+  obs::LinkSeries link_samples;
 };
 
 /// Runs the Fig. 12 experiment (both source pairs send their flows

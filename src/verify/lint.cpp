@@ -4,7 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "bgp/routing.hpp"
+#include "bgp/route_store.hpp"
 #include "topo/analysis.hpp"
 
 namespace mifo::verify {
@@ -60,12 +60,11 @@ std::vector<LintIssue> lint_deployment(
 
   // Converged routes are recomputed per destination AS once and shared
   // across every AS's lints (the RIB ground truth the daemons were fed).
-  std::unordered_map<std::uint32_t, bgp::DestRoutes> routes_cache;
-  const auto routes_for = [&](AsId dest) -> const bgp::DestRoutes& {
+  std::unordered_map<std::uint32_t, bgp::RouteStore> routes_cache;
+  const auto routes_for = [&](AsId dest) -> const bgp::RouteStore& {
     auto it = routes_cache.find(dest.value());
     if (it == routes_cache.end()) {
-      it = routes_cache.emplace(dest.value(), bgp::compute_routes(g, dest))
-               .first;
+      it = routes_cache.emplace(dest.value(), bgp::RouteStore(g, dest)).first;
     }
     return it->second;
   };
@@ -85,7 +84,7 @@ std::vector<LintIssue> lint_deployment(
     for (const core::PrefixRoutes& pr : daemon->prefixes()) {
       const auto own = owner.find(pr.prefix);
       if (own == owner.end() || own->second == w.as) continue;
-      const bgp::DestRoutes& routes = routes_for(own->second);
+      const bgp::RouteStore& routes = routes_for(own->second);
       for (const AsId alt : pr.alternatives) {
         if (alt == pr.default_neighbor) {
           LintIssue issue;
@@ -97,7 +96,7 @@ std::vector<LintIssue> lint_deployment(
           issues.push_back(std::move(issue));
           continue;
         }
-        if (!bgp::rib_route_from(g, routes, w.as, alt)) {
+        if (!routes.rib_from(w.as, alt)) {
           LintIssue issue;
           issue.kind = LintKind::ExportViolation;
           issue.as = w.as;

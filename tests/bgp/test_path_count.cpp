@@ -52,7 +52,7 @@ AsGraph fig2a() {
 
 TEST(PathCount, Fig2aFullDeployment) {
   const AsGraph g = fig2a();
-  const auto routes = compute_routes(g, AsId(0));
+  const RouteStore routes(g, AsId(0));
   const auto order = topo::pc_topological_order(g);
   const std::vector<bool> all(4, true);
   const auto counts = count_mifo_paths(g, routes, order, all);
@@ -65,7 +65,7 @@ TEST(PathCount, Fig2aFullDeployment) {
 
 TEST(PathCount, ZeroDeploymentIsSinglePath) {
   const AsGraph g = fig2a();
-  const auto routes = compute_routes(g, AsId(0));
+  const RouteStore routes(g, AsId(0));
   const auto order = topo::pc_topological_order(g);
   const std::vector<bool> none(4, false);
   const auto counts = count_mifo_paths(g, routes, order, none);
@@ -77,7 +77,7 @@ TEST(PathCount, ZeroDeploymentIsSinglePath) {
 TEST(PathCount, UnreachableIsZero) {
   AsGraph g(3);
   g.add_peering(AsId(0), AsId(1));
-  const auto routes = compute_routes(g, AsId(2));
+  const RouteStore routes(g, AsId(2));
   const auto order = topo::pc_topological_order(g);
   const std::vector<bool> all(3, true);
   const auto counts = count_mifo_paths(g, routes, order, all);
@@ -104,12 +104,15 @@ TEST_P(PathCountProperty, DpMatchesBruteForce) {
   }
 
   for (std::uint32_t d = 0; d < g.num_ases(); ++d) {
-    const auto routes = compute_routes(g, AsId(d));
+    // The DP consumes the CSR store; the brute-force oracle keeps walking
+    // the legacy DestRoutes views (oracle-retention policy).
+    const auto oracle = compute_routes(g, AsId(d));
+    const RouteStore routes(g, oracle);
     const auto counts = count_mifo_paths(g, routes, order, deployed);
     for (std::uint32_t s = 0; s < g.num_ases(); ++s) {
       if (s == d) continue;
       const double expected =
-          brute_count(g, routes, deployed, AsId(s), true);
+          brute_count(g, oracle, deployed, AsId(s), true);
       ASSERT_DOUBLE_EQ(counts.paths_from(AsId(s)), expected)
           << "dest " << d << " src " << s << " seed " << seed;
     }
@@ -127,7 +130,7 @@ TEST(PathCountProperty, DeploymentMonotonicity) {
   p.seed = 17;
   const topo::AsGraph g = topo::generate_topology(p);
   const auto order = topo::pc_topological_order(g);
-  const auto routes = compute_routes(g, AsId(0));
+  const RouteStore routes(g, AsId(0));
 
   std::vector<bool> half(g.num_ases(), false);
   for (std::size_t i = 0; i < half.size(); i += 2) half[i] = true;
@@ -149,7 +152,7 @@ TEST(PathCountProperty, ReachableIffPositive) {
   p.seed = 23;
   const topo::AsGraph g = topo::generate_topology(p);
   const auto order = topo::pc_topological_order(g);
-  const auto routes = compute_routes(g, AsId(5));
+  const RouteStore routes(g, AsId(5));
   const auto counts = count_mifo_paths(
       g, routes, order, std::vector<bool>(g.num_ases(), true));
   for (std::uint32_t s = 0; s < g.num_ases(); ++s) {

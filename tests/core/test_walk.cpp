@@ -26,7 +26,7 @@ UtilizationFn no_congestion() {
 
 TEST(BgpWalk, FollowsDefaultPath) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const auto w = bgp_walk(g, routes, AsId(1));
   ASSERT_TRUE(w.reachable);
   ASSERT_EQ(w.path.size(), 2u);
@@ -40,13 +40,13 @@ TEST(BgpWalk, FollowsDefaultPath) {
 TEST(BgpWalk, UnreachableReportsFalse) {
   AsGraph g(3);
   g.add_peering(AsId(0), AsId(1));
-  const auto routes = bgp::compute_routes(g, AsId(2));
+  const bgp::RouteStore routes(g, AsId(2));
   EXPECT_FALSE(bgp_walk(g, routes, AsId(0)).reachable);
 }
 
 TEST(MifoWalk, NoCongestionEqualsDefault) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(4, true);
   const auto w = mifo_walk(g, routes, all, AsId(1), no_congestion());
   const auto d = bgp_walk(g, routes, AsId(1));
@@ -56,7 +56,7 @@ TEST(MifoWalk, NoCongestionEqualsDefault) {
 
 TEST(MifoWalk, DeflectsOffCongestedDefault) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(4, true);
   // Only AS1's direct link to AS0 is congested.
   const LinkId congested = g.link(AsId(1), AsId(0));
@@ -74,7 +74,7 @@ TEST(MifoWalk, DeflectsOffCongestedDefault) {
 
 TEST(MifoWalk, NonDeployedAsNeverDeflects) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   std::vector<bool> none(4, false);
   const LinkId congested = g.link(AsId(1), AsId(0));
   const auto w = mifo_walk(
@@ -87,7 +87,7 @@ TEST(MifoWalk, NonDeployedAsNeverDeflects) {
 
 TEST(MifoWalk, GreedyPicksMostSpareAlternative) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(4, true);
   const LinkId def = g.link(AsId(1), AsId(0));
   const LinkId via2 = g.link(AsId(1), AsId(2));
@@ -104,7 +104,7 @@ TEST(MifoWalk, GreedyPicksMostSpareAlternative) {
 
 TEST(MifoWalk, StaysOnDefaultWhenAlternativesWorse) {
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(4, true);
   const LinkId def = g.link(AsId(1), AsId(0));
   const auto w = mifo_walk(g, routes, all, AsId(1), [&](LinkId l) {
@@ -120,7 +120,7 @@ TEST(MifoWalk, MidPathTagBlocksSecondPeerHop) {
   // deflect to peer 3 even if its default (2->0) is congested — it must use
   // the customer link (the only admissible next hop).
   const AsGraph g = fig2a();
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   const std::vector<bool> all(4, true);
   const LinkId l10 = g.link(AsId(1), AsId(0));
   const LinkId l20 = g.link(AsId(2), AsId(0));
@@ -149,7 +149,7 @@ TEST(MifoWalk, EndToEndProbeSeesDownstreamCongestion) {
   g.add_provider_customer(AsId(2), AsId(4));
   g.add_provider_customer(AsId(3), AsId(4));
   g.add_provider_customer(AsId(2), AsId(0));  // extra AS keeps ids stable
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   ASSERT_EQ(routes.best(AsId(1)).next_hop, AsId(2));  // default via 2
   const std::vector<bool> all(5, true);
   const LinkId l24 = g.link(AsId(2), AsId(4));

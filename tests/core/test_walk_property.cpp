@@ -50,7 +50,7 @@ TEST_P(WalkTheorem, AdversarialCongestionNeverLoops) {
     }
 
     const AsId dest(static_cast<std::uint32_t>(rng.bounded(g.num_ases())));
-    const auto routes = bgp::compute_routes(g, dest);
+    const bgp::RouteStore routes(g, dest);
     for (std::uint32_t s = 0; s < g.num_ases(); s += 3) {
       if (AsId(s) == dest) continue;
       const auto w =
@@ -95,7 +95,7 @@ TEST(WalkTheorem, ProbeSelectionIsAlsoLoopFree) {
   p.seed = 77;
   const topo::AsGraph g = topo::generate_topology(p);
   const std::vector<bool> all(g.num_ases(), true);
-  const auto routes = bgp::compute_routes(g, AsId(3));
+  const bgp::RouteStore routes(g, AsId(3));
   Rng rng(99);
   std::unordered_map<std::uint32_t, double> util_map;
   auto util = [&](LinkId l) -> double {
@@ -123,7 +123,7 @@ TEST(WalkTheorem, FullCongestionFullDeploymentStillDelivers) {
   p.seed = 42;
   const topo::AsGraph g = topo::generate_topology(p);
   const std::vector<bool> all(g.num_ases(), true);
-  const auto routes = bgp::compute_routes(g, AsId(0));
+  const bgp::RouteStore routes(g, AsId(0));
   std::size_t delivered = 0;
   for (std::uint32_t s = 1; s < g.num_ases(); ++s) {
     const auto w = mifo_walk(g, routes, all, AsId(s),
@@ -133,7 +133,7 @@ TEST(WalkTheorem, FullCongestionFullDeploymentStillDelivers) {
       EXPECT_EQ(w.path.back(), AsId(0));
     }
   }
-  EXPECT_EQ(delivered, bgp::reachable_count(routes) - 1);
+  EXPECT_EQ(delivered, routes.num_reachable() - 1);
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ TEST(EndToEnd, PathDiversityMifoDominatesMiroEverywhere) {
       traffic::random_deployment(g.num_ases(), 0.5, 5);
 
   for (std::uint32_t d = 0; d < 3; ++d) {
-    const auto routes = bgp::compute_routes(g, AsId(d));
+    const bgp::RouteStore routes(g, AsId(d));
     const auto full = bgp::count_mifo_paths(g, routes, order, all);
     const auto part = bgp::count_mifo_paths(g, routes, order, half);
     for (std::uint32_t s = 0; s < g.num_ases(); s += 17) {

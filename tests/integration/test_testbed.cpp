@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bgp/routing.hpp"
+#include "common/thread_pool.hpp"
 #include "testbed/fig11.hpp"
 
 namespace mifo::testbed {
@@ -126,6 +127,64 @@ TEST(Fig12, ThroughputTraceSumsToTransferredBytes) {
   const double offered =
       to_megabits(2 * 3 * params.flow_size) / 1000.0;  // gigabits
   EXPECT_NEAR(gb_from_trace, offered, offered * 0.01);
+}
+
+TEST(Fig12, ParallelArmsAreIdenticalToSerial) {
+  // bench_fig12_testbed runs the BGP and MIFO arms concurrently through
+  // bench::run_arms; each arm owns its emulation, so running the same
+  // experiment on pool workers must reproduce the serial results exactly.
+  Fig12Params params;
+  params.flow_size = kMegaByte;
+  params.flows_per_pair = 3;
+  params.link_sample_interval = 0.05;
+
+  std::vector<Fig12Result> serial(2);
+  std::vector<Fig12Result> parallel(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    Fig12Params p = params;
+    p.mifo = i == 1;
+    serial[i] = run_fig12(p);
+  }
+  ThreadPool pool(2);
+  parallel_for(pool, std::size_t{2}, [&](std::size_t i) {
+    Fig12Params p = params;
+    p.mifo = i == 1;
+    parallel[i] = run_fig12(p);
+  });
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_EQ(serial[i].fct, parallel[i].fct) << "arm " << i;  // bitwise
+    ASSERT_EQ(serial[i].throughput_gbps, parallel[i].throughput_gbps);
+    EXPECT_EQ(serial[i].total_time, parallel[i].total_time);
+    EXPECT_EQ(serial[i].aggregate_gbps, parallel[i].aggregate_gbps);
+    EXPECT_EQ(serial[i].counters.forwarded, parallel[i].counters.forwarded);
+    EXPECT_EQ(serial[i].counters.deflected, parallel[i].counters.deflected);
+    EXPECT_EQ(serial[i].counters.encapsulated,
+              parallel[i].counters.encapsulated);
+    ASSERT_EQ(serial[i].link_samples.size(), parallel[i].link_samples.size());
+    for (std::size_t k = 0; k < serial[i].link_samples.size(); ++k) {
+      EXPECT_EQ(serial[i].link_samples[k].utilization,
+                parallel[i].link_samples[k].utilization);
+    }
+  }
+}
+
+TEST(Fig12, LinkSamplingLandsInResult) {
+  Fig12Params params;
+  params.flow_size = kMegaByte;
+  params.flows_per_pair = 3;
+  params.mifo = true;
+  params.link_sample_interval = 0.05;
+  const auto res = run_fig12(params);
+  ASSERT_FALSE(res.link_samples.empty());
+  // Samples arrive in non-decreasing time order and cover the run.
+  for (std::size_t i = 1; i < res.link_samples.size(); ++i) {
+    EXPECT_LE(res.link_samples[i - 1].t, res.link_samples[i].t);
+  }
+  EXPECT_GT(res.link_samples.back().t, 0.0);
+  // Off by default: no trace without the opt-in.
+  params.link_sample_interval = 0.0;
+  EXPECT_TRUE(run_fig12(params).link_samples.empty());
 }
 
 TEST(Fig12, NoForwardingAnomalies) {

@@ -25,7 +25,7 @@ AsGraph diamond() {
 
 TEST(Miro, AlternativesSameClassOnly) {
   const AsGraph g = diamond();
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   const std::vector<bool> all(5, true);
   // Default from 0 is via AS1 (lowest id); alternatives via 2 and 3, both
   // provider-class like the default.
@@ -40,7 +40,7 @@ TEST(Miro, AlternativesSameClassOnly) {
 
 TEST(Miro, StrictPolicyCapsAlternatives) {
   const AsGraph g = diamond();
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   const std::vector<bool> all(5, true);
   MiroConfig cfg;
   cfg.max_alternatives = 1;
@@ -50,7 +50,7 @@ TEST(Miro, StrictPolicyCapsAlternatives) {
 
 TEST(Miro, RequiresBilateralDeployment) {
   const AsGraph g = diamond();
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   // Source not deployed: no alternatives at all.
   std::vector<bool> none(5, false);
   EXPECT_TRUE(alternatives(g, routes, AsId(0), none).empty());
@@ -73,7 +73,7 @@ TEST(Miro, DifferentClassRoutesExcluded) {
   g.add_provider_customer(AsId(1), AsId(3));  // dest 3 is 1's customer...
   g.add_peering(AsId(0), AsId(2));
   g.add_provider_customer(AsId(2), AsId(3));
-  const auto routes = bgp::compute_routes(g, AsId(3));
+  const bgp::RouteStore routes(g, AsId(3));
   ASSERT_EQ(routes.best(AsId(0)).cls, bgp::RouteClass::Customer);
   const std::vector<bool> all(4, true);
   EXPECT_TRUE(alternatives(g, routes, AsId(0), all).empty());
@@ -83,21 +83,21 @@ TEST(Miro, DifferentClassRoutesExcluded) {
 TEST(Miro, PathCountZeroWhenUnreachable) {
   AsGraph g(3);
   g.add_peering(AsId(0), AsId(1));
-  const auto routes = bgp::compute_routes(g, AsId(2));
+  const bgp::RouteStore routes(g, AsId(2));
   const std::vector<bool> all(3, true);
   EXPECT_EQ(path_count(g, routes, AsId(0), all), 0u);
 }
 
 TEST(Miro, PathCountOneAtDest) {
   const AsGraph g = diamond();
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   const std::vector<bool> all(5, true);
   EXPECT_EQ(path_count(g, routes, AsId(4), all), 1u);
 }
 
 TEST(Miro, AltPathPrependsSource) {
   const AsGraph g = diamond();
-  const auto routes = bgp::compute_routes(g, AsId(4));
+  const bgp::RouteStore routes(g, AsId(4));
   const auto path = alt_path(g, routes, AsId(0), AsId(2));
   ASSERT_EQ(path.size(), 3u);
   EXPECT_EQ(path[0], AsId(0));
@@ -116,7 +116,7 @@ TEST(Miro, FarFewerPathsThanMifoOnRealTopology) {
   // Use a multihomed stub destination (diversity towards a tier-1 is
   // structurally tiny for both schemes — everything must funnel into it).
   const AsId dest(static_cast<std::uint32_t>(g.num_ases() - 1));
-  const auto routes = bgp::compute_routes(g, dest);
+  const bgp::RouteStore routes(g, dest);
   const auto mifo_counts = bgp::count_mifo_paths(g, routes, order, all);
   double mifo_total = 0.0;
   double miro_total = 0.0;

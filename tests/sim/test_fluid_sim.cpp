@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "obs/registry.hpp"
 #include "sim/metrics.hpp"
 #include "topo/generator.hpp"
 #include "traffic/traffic.hpp"
@@ -288,7 +292,74 @@ TEST(FluidSim, ParallelRouteWarmupIsBitIdenticalToSerial) {
       EXPECT_EQ(ser[i].path_switches, par[i].path_switches) << i;
       EXPECT_EQ(ser[i].used_alternative, par[i].used_alternative) << i;
     }
+
+    // The warmed CSR stores themselves must also be element-identical:
+    // same flattened bytes, same best/RIB/path views for every destination
+    // the traffic touches.
+    std::unordered_set<std::uint32_t> dests;
+    for (const auto& f : specs) dests.insert(f.dst.value());
+    for (const std::uint32_t d : dests) {
+      const bgp::RouteStore& rs = serial.routes_for(AsId(d));
+      const bgp::RouteStore& rp = parallel.routes_for(AsId(d));
+      ASSERT_EQ(rs.bytes(), rp.bytes()) << "dest " << d;
+      ASSERT_EQ(rs.num_reachable(), rp.num_reachable()) << "dest " << d;
+      const auto bs = rs.all_best();
+      const auto bp = rp.all_best();
+      ASSERT_TRUE(std::equal(bs.begin(), bs.end(), bp.begin(), bp.end()))
+          << "dest " << d;
+      for (std::uint32_t as = 0; as < g.num_ases(); ++as) {
+        const auto ra = rs.rib(AsId(as));
+        const auto rb = rp.rib(AsId(as));
+        ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+            << "dest " << d << " as " << as;
+        const auto pa = rs.path(AsId(as));
+        const auto pb = rp.path(AsId(as));
+        ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()))
+            << "dest " << d << " as " << as;
+      }
+    }
   }
+}
+
+TEST(FluidSim, RouteCacheBytesGaugeTracksWarmedStores) {
+  // sim.route_cache_bytes reports the resident CSR footprint: zero after
+  // attach, equal to the sum of the warmed stores' bytes() once the cache
+  // is populated — whether lazily (routes_for) or via the threaded warmup.
+  topo::GeneratorParams gp;
+  gp.num_ases = 120;
+  gp.seed = 21;
+  const AsGraph g = topo::generate_topology(gp);
+
+  SimConfig cfg;
+  cfg.mode = RoutingMode::Mifo;
+  cfg.threads = 4;
+  FluidSim sim(g, cfg);
+  obs::Registry reg;
+  sim.attach_registry(reg, "arm=test");
+  EXPECT_DOUBLE_EQ(
+      reg.snapshot().value_or("sim.route_cache_bytes", -1.0, "arm=test"),
+      0.0);
+
+  std::size_t expect = 0;
+  for (std::uint32_t d = 0; d < 6; ++d) {
+    expect += sim.routes_for(AsId(d)).bytes();
+  }
+  EXPECT_GT(expect, 0u);
+  EXPECT_DOUBLE_EQ(
+      reg.snapshot().value_or("sim.route_cache_bytes", -1.0, "arm=test"),
+      static_cast<double>(expect));
+
+  // A run() warms the remaining destinations in parallel; the gauge keeps
+  // counting every resident store.
+  traffic::TrafficParams tp;
+  tp.num_flows = 200;
+  tp.dest_pool = 16;
+  tp.seed = 5;
+  sim.set_deployment(traffic::random_deployment(g.num_ases(), 0.5, 3));
+  sim.run(traffic::uniform_traffic(g, tp));
+  EXPECT_GE(
+      reg.snapshot().value_or("sim.route_cache_bytes", -1.0, "arm=test"),
+      static_cast<double>(expect));
 }
 
 TEST(FluidSim, RepeatedRunsOnOneSimAreIdentical) {
