@@ -135,14 +135,45 @@ grep -q "verdict: UNSAFE" <<< "$chaos_out"
 echo "chaos OK: randomized churn proved safe, reproducible, planted" \
      "violation caught"
 
+echo "=== sharded plane: sharded-vs-serial differential gate ==="
+# The scaling bench doubles as the full-scale differential: every worker
+# count must reproduce the serial oracle's outcome digest (per-flow
+# completions + drop buckets + conservation totals; DESIGN.md §6). Reduced
+# scale here — the committed BENCH_bench_sharded_plane.json carries the
+# 1000+-router run.
+MIFO_ARTIFACT_DIR="$artifact_dir" MIFO_TOPO_N=64 MIFO_FLOWS=16 \
+  "$build_dir"/bench/bench_sharded_plane --benchmark_filter=none > /dev/null
+python3 - "$artifact_dir/sharded_plane.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "sharded_plane"
+assert a["scale"]["routers"] > 0
+arms = {arm["name"]: arm for arm in a["arms"]}
+assert {"serial", "1w", "2w", "4w", "8w"} <= arms.keys(), sorted(arms)
+serial = arms["serial"]["outcome_digest"]
+for name, arm in arms.items():
+    s = arm["summary"]
+    assert s["flows_done"] == s["flows_total"] > 0, name
+    assert arm["outcome_digest"] == serial, (name, arm["outcome_digest"])
+    assert arm["digest_matches_serial"] is True, name
+    assert arm["rings"]["overflow"] == 0, name
+print(f"sharded differential OK: {len(arms)} arms bit-exact "
+      f"({a['scale']['routers']} routers, digest {serial})")
+PY
+
 echo "=== clang-tidy (scripts/lint.sh) ==="
 scripts/lint.sh "$build_dir"
 
-echo "=== TSan: thread-pool + fluid-sim tests (${tsan_dir}) ==="
+echo "=== TSan: thread-pool + fluid-sim + sharded-plane tests (${tsan_dir}) ==="
 cmake -B "$tsan_dir" -S . -DMIFO_SANITIZE=thread
-cmake --build "$tsan_dir" -j "$jobs" --target test_common test_sim
-"$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*'
+cmake --build "$tsan_dir" -j "$jobs" \
+  --target test_common test_sim test_dataplane test_integration
+"$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*:SpscRing.*'
 "$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
+"$tsan_dir"/tests/test_dataplane --gtest_filter='ShardedNetwork.*'
+"$tsan_dir"/tests/test_integration --gtest_filter='ShardedDifferential.*'
 
 echo "=== UBSan: full test suite (${ubsan_dir}) ==="
 # -fno-sanitize-recover=all is wired in by the CMakeLists, so any UB aborts

@@ -16,6 +16,7 @@ benches=(
   bench_forwarding_engine
   bench_maxmin
   bench_fig5_throughput_deployment
+  bench_sharded_plane
 )
 
 for name in "${benches[@]}"; do

@@ -1,0 +1,33 @@
+#include "chaos/quiesce.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mifo::chaos {
+
+bool is_quiescent(const dp::ShardedNetwork& net) {
+  std::uint64_t dropped = 0;
+  for (const auto& [reason, count] : net.drop_breakdown()) dropped += count;
+  return net.injected_pkts() == net.delivered_pkts() + dropped;
+}
+
+QuiescentPoint await_quiescence(dp::ShardedNetwork& net, SimTime deadline,
+                                SimTime probe) {
+  MIFO_EXPECTS(probe > 0.0);
+  QuiescentPoint qp;
+  SimTime t = net.now();
+  while (true) {
+    if (is_quiescent(net)) {
+      qp.reached = true;
+      qp.t = net.now();
+      qp.routers = net.gather_routers();
+      return qp;
+    }
+    if (t >= deadline) return qp;
+    t = std::min(t + probe, deadline);
+    net.run_until(t);
+  }
+}
+
+}  // namespace mifo::chaos

@@ -1,0 +1,49 @@
+// Quiescent-point detection for the sharded packet plane (docs/CHAOS.md,
+// DESIGN.md §6).
+//
+// The serial chaos engine snapshots forwarding state whenever it likes: one
+// thread, one event queue, every instant is consistent. The sharded plane is
+// only globally consistent when its workers are parked at an epoch barrier —
+// and only *quiescent* (safe to prove properties of, rather than merely
+// read) when no packet is in flight anywhere: not queued at a port, not
+// propagating in a replica's event queue, not crossing shards in an SPSC
+// ring.
+//
+// Detecting that cannot poll queues alone (in-propagation packets live in
+// event queues, interleaved with control-plane periodics that never stop
+// self-rescheduling), so the predicate is conservation closing:
+//     injected == delivered + sum(drop breakdown)
+// which holds exactly when every injected packet has reached a terminal
+// outcome. `await_quiescence` steps the plane probe-by-probe until the books
+// close, then assembles the whole-network router snapshot the verify::
+// prover consumes (ShardedNetwork::gather_routers).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dataplane/shard.hpp"
+
+namespace mifo::chaos {
+
+/// True when no packet is in flight anywhere in the sharded plane. Only
+/// meaningful between run_until calls (workers parked at a barrier).
+[[nodiscard]] bool is_quiescent(const dp::ShardedNetwork& net);
+
+struct QuiescentPoint {
+  bool reached = false;  ///< false: deadline hit with packets still in flight
+  SimTime t = 0.0;       ///< sim time the plane went quiescent (when reached)
+  /// Whole-network router snapshot at `t`, consistent across shards; feed
+  /// directly to verify::check_loop_freedom. Empty unless `reached`.
+  std::vector<dp::Router> routers;
+};
+
+/// Steps `net` forward in `probe`-wide increments until it is quiescent or
+/// `deadline` (sim time) passes, and snapshots the forwarding state at the
+/// first quiescent barrier. Control-plane periodics keep ticking throughout;
+/// they do not block quiescence.
+[[nodiscard]] QuiescentPoint await_quiescence(dp::ShardedNetwork& net,
+                                              SimTime deadline,
+                                              SimTime probe = 0.01);
+
+}  // namespace mifo::chaos

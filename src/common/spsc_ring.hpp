@@ -1,0 +1,103 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The cross-shard packet handoff of the sharded data plane (DESIGN.md §6):
+// each ordered shard pair owns one ring, the producing worker pushes during
+// its epoch window, the consuming worker drains at the epoch barrier. The
+// MW-NFD input-thread -> forwarding-worker queues follow the same shape.
+//
+// Wait-free for both sides: one producer thread may call try_push/size and
+// one consumer thread may call try_pop/empty concurrently with it. Indices
+// are monotonically increasing uint64s (no wrap handling needed within any
+// realistic run) on separate cache lines so the two sides do not false-share.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mifo {
+
+/// Destructive-interference distance. A constant rather than
+/// std::hardware_destructive_interference_size: the latter varies with
+/// -mtune (gcc warns about exactly that ABI trap), and 64 is correct for
+/// every x86-64/aarch64 target this builds on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the caller decides
+  /// whether that is a drop — the sharded plane accounts it as
+  /// `ring_overflow` in the drop breakdown).
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // tail_cache_ avoids touching the consumer's line until actually full.
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side drain into `out` (appends). Returns the number popped.
+  std::size_t drain_into(std::vector<T>& out) {
+    std::size_t n = 0;
+    T item;
+    while (try_pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Approximate occupancy; exact when the other side is quiescent (the
+  /// barrier protocol guarantees that at every sample point we care about).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  const std::uint64_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  ///< producer
+  alignas(kCacheLine) std::uint64_t tail_cache_ = 0;        ///< producer-local
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  ///< consumer
+  alignas(kCacheLine) std::uint64_t head_cache_ = 0;        ///< consumer-local
+};
+
+}  // namespace mifo

@@ -1,6 +1,7 @@
 #include "dataplane/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
@@ -145,7 +146,7 @@ Addr Network::host_addr(HostId h) const {
   return hosts_[h.value()].addr;
 }
 
-FlowId Network::start_flow(const FlowParams& params) {
+FlowId Network::register_flow(const FlowParams& params) {
   MIFO_EXPECTS(host(params.src).connected);
   MIFO_EXPECTS(host(params.dst).connected);
   MIFO_EXPECTS(params.size > 0);
@@ -158,13 +159,18 @@ FlowId Network::start_flow(const FlowParams& params) {
   f.total_pkts = static_cast<std::uint32_t>(
       (params.size + params.pkt_size - 1) / params.pkt_size);
   flows_.push_back(std::move(f));
+  return flows_.back().id;
+}
+
+FlowId Network::start_flow(const FlowParams& params) {
+  const FlowId id = register_flow(params);
 
   Event ev;
   ev.t = std::max(params.start, now_);
   ev.kind = EvKind::FlowStart;
   ev.a = static_cast<std::uint32_t>(flows_.size() - 1);
   push_event(ev);
-  return flows_.back().id;
+  return id;
 }
 
 FlowState& Network::flow(FlowId id) {
@@ -307,8 +313,33 @@ void Network::begin_tx(NodeRef node, Port& port, std::uint32_t port_index) {
   done.b = port_index;
   push_event(done);
 
+  const SimTime arrive_t = now_ + tx + port.delay;
+
+  // Shard mode: an arrival owned by another shard leaves this event queue
+  // entirely and crosses over the shard pair's SPSC ring instead. tx > 0
+  // guarantees arrive_t strictly exceeds the conservative window horizon,
+  // so the receiving shard can never see it in its past.
+  if (router_shard_ != nullptr) {
+    const std::uint32_t owner = port.peer.is_router()
+                                    ? (*router_shard_)[port.peer.id]
+                                    : (*host_shard_)[port.peer.id];
+    if (owner != self_shard_) {
+      RemoteEvent rev;
+      rev.t = arrive_t;
+      rev.to_router = port.peer.is_router();
+      rev.from_router = node.is_router();
+      rev.node = port.peer.id;
+      rev.port = port.peer.is_router() ? port.peer_port.value() : 0;
+      rev.from_node = node.id;
+      rev.from_port = port_index;
+      rev.pkt = std::move(p);
+      remote_sink_(std::move(rev));
+      return;
+    }
+  }
+
   Event arrive;
-  arrive.t = now_ + tx + port.delay;
+  arrive.t = arrive_t;
   if (port.peer.is_router()) {
     arrive.kind = EvKind::ArriveRouter;
     arrive.a = port.peer.id;
@@ -319,6 +350,39 @@ void Network::begin_tx(NodeRef node, Port& port, std::uint32_t port_index) {
   }
   arrive.pkt = std::move(p);
   push_event(arrive);
+}
+
+SimTime Network::next_event_time() const {
+  return events_.empty() ? std::numeric_limits<SimTime>::infinity()
+                         : events_.top().t;
+}
+
+void Network::enable_shard_mode(std::uint32_t self,
+                                const std::vector<std::uint32_t>* router_shard,
+                                const std::vector<std::uint32_t>* host_shard,
+                                std::function<void(RemoteEvent&&)> sink) {
+  MIFO_EXPECTS(router_shard != nullptr && host_shard != nullptr);
+  MIFO_EXPECTS(sink != nullptr);
+  self_shard_ = self;
+  router_shard_ = router_shard;
+  host_shard_ = host_shard;
+  remote_sink_ = std::move(sink);
+}
+
+void Network::inject_remote(RemoteEvent&& rev) {
+  MIFO_EXPECTS(rev.t >= now_);
+  Event ev;
+  ev.t = rev.t;
+  if (rev.to_router) {
+    ev.kind = EvKind::ArriveRouter;
+    ev.a = rev.node;
+    ev.b = rev.port;
+  } else {
+    ev.kind = EvKind::ArriveHost;
+    ev.a = rev.node;
+  }
+  ev.pkt = std::move(rev.pkt);
+  push_event(std::move(ev));
 }
 
 void Network::enqueue_on(NodeRef node, Port& port, std::uint32_t port_index,
@@ -399,6 +463,12 @@ void Network::enable_link_sampling(SimTime interval) {
       std::make_shared<std::unordered_map<std::uint64_t, std::uint64_t>>();
   add_periodic(interval, [snapshots, interval](Network& net, SimTime now) {
     for (std::size_t r = 0; r < net.routers_.size(); ++r) {
+      // Shard replicas sample only the routers they own; the merged series
+      // (ShardedNetwork::link_samples) then covers each link exactly once.
+      if (net.router_shard_ != nullptr &&
+          (*net.router_shard_)[r] != net.self_shard_) {
+        continue;
+      }
       Router& router = net.routers_[r];
       for (std::size_t pi = 0; pi < router.num_ports(); ++pi) {
         const Port& port = router.port(PortId(static_cast<std::uint32_t>(pi)));

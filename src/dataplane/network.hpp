@@ -24,6 +24,23 @@ class Registry;
 
 namespace mifo::dp {
 
+/// A packet arrival whose destination node lives on another shard of a
+/// ShardedNetwork (src/dataplane/shard.hpp). Produced by `begin_tx` when
+/// shard mode is enabled; carried over an SPSC ring and re-injected into the
+/// owning shard's event queue at the next epoch barrier. The (from_node,
+/// from_port) pair keys the deterministic merge order: per-port transmissions
+/// are serialized (tx time > 0), so (t, from_node, from_port) is unique.
+struct RemoteEvent {
+  SimTime t = 0.0;
+  bool to_router = true;
+  bool from_router = true;
+  std::uint32_t node = 0;       ///< destination router/host id
+  std::uint32_t port = 0;       ///< destination ingress port (routers only)
+  std::uint32_t from_node = 0;  ///< transmitting node id
+  std::uint32_t from_port = 0;  ///< transmitting port index
+  Packet pkt;
+};
+
 struct Host {
   HostId id;
   Addr addr = kInvalidAddr;
@@ -72,6 +89,10 @@ class Network {
 
   // --- flows --------------------------------------------------------------------
   FlowId start_flow(const FlowParams& params);
+  /// Registers the flow without scheduling its FlowStart event. Shard
+  /// replicas that do not own the source host need the FlowState (the
+  /// receiver half lives at the destination shard) but must never send.
+  FlowId register_flow(const FlowParams& params);
   [[nodiscard]] const std::vector<FlowState>& flows() const { return flows_; }
   [[nodiscard]] FlowState& flow(FlowId id);
   /// Invoked whenever a flow completes (used to chain back-to-back flows).
@@ -94,6 +115,24 @@ class Network {
   /// Runs until the event queue drains or `t_cap` is hit.
   void run_to_completion(SimTime t_cap);
   [[nodiscard]] bool idle() const { return events_.empty(); }
+  /// Timestamp of the earliest pending event, +inf when idle. The sharded
+  /// plane's conservative-window barrier reduces this across shards.
+  [[nodiscard]] SimTime next_event_time() const;
+
+  // --- sharding hooks (src/dataplane/shard.hpp) -------------------------------
+  /// Marks this network as shard `self` of a sharded plane. `router_shard`
+  /// and `host_shard` map node id -> owning shard (not owned; must outlive
+  /// the network). Arrivals whose destination is owned elsewhere are handed
+  /// to `sink` instead of the local event queue; link sampling skips
+  /// non-owned routers. Disabled (the default) this costs nothing — the
+  /// serial engine's behaviour is bit-for-bit unchanged.
+  void enable_shard_mode(std::uint32_t self,
+                         const std::vector<std::uint32_t>* router_shard,
+                         const std::vector<std::uint32_t>* host_shard,
+                         std::function<void(RemoteEvent&&)> sink);
+  /// Re-injects a cross-shard arrival drained from a ring. Must not be in
+  /// this shard's past.
+  void inject_remote(RemoteEvent&& ev);
 
   // --- data-plane services (used by Router and transport) --------------------
   /// Enqueue `p` on router r's port, honouring queue capacity; starts
@@ -215,6 +254,13 @@ class Network {
 
   SimTime bucket_width_ = 0.0;
   std::vector<Bytes> delivery_bytes_;
+
+  /// Shard mode (see enable_shard_mode); self_shard_ is meaningless and the
+  /// maps are null while disabled.
+  std::uint32_t self_shard_ = 0;
+  const std::vector<std::uint32_t>* router_shard_ = nullptr;
+  const std::vector<std::uint32_t>* host_shard_ = nullptr;
+  std::function<void(RemoteEvent&&)> remote_sink_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::LinkSeries link_samples_;

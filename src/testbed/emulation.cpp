@@ -1,9 +1,7 @@
 #include "testbed/emulation.hpp"
 
-#include <unordered_map>
-
-#include "bgp/route_store.hpp"
 #include "common/contracts.hpp"
+#include "testbed/wiring.hpp"
 
 namespace mifo::testbed {
 
@@ -50,119 +48,10 @@ Emulation EmulationBuilder::finalize() {
   Emulation em;
   em.net = std::make_unique<dp::Network>();
   em.plan = std::make_unique<bgp::IbgpPlan>(g_, expand_);
-  dp::Network& net = *em.net;
-  const bgp::IbgpPlan& plan = *em.plan;
 
-  // Routers (ids in the network match the plan's router ids).
-  for (std::size_t i = 0; i < plan.num_routers(); ++i) {
-    const auto& br = plan.router(RouterId(static_cast<std::uint32_t>(i)));
-    const RouterId created = net.add_router(br.as);
-    MIFO_ASSERT(created == br.id);
-  }
-
-  em.wirings.resize(g_.num_ases());
-  for (std::size_t i = 0; i < g_.num_ases(); ++i) {
-    const AsId as(static_cast<std::uint32_t>(i));
-    em.wirings[i].as = as;
-    em.wirings[i].routers = plan.routers_of(as);
-  }
-
-  // eBGP links: one physical link per AS adjacency, between the two facing
-  // border routers.
-  for (std::size_t i = 0; i < g_.num_ases(); ++i) {
-    const AsId a(static_cast<std::uint32_t>(i));
-    for (const auto& nb : g_.neighbors(a)) {
-      if (!(a < nb.as)) continue;  // each adjacency once
-      const RouterId ra = plan.border_towards(a, nb.as);
-      const RouterId rb = plan.border_towards(nb.as, a);
-      const auto [pa, pb] = net.connect_ebgp(ra, rb, nb.rel,
-                                             params_.ebgp_rate,
-                                             params_.ebgp_delay);
-      em.wirings[a.value()].egresses.push_back(
-          core::AsWiring::Egress{nb.as, ra, pa, nb.rel});
-      em.wirings[nb.as.value()].egresses.push_back(
-          core::AsWiring::Egress{a, rb, pb, topo::reverse(nb.rel)});
-    }
-  }
-
-  // iBGP full mesh inside expanded ASes.
-  for (std::size_t i = 0; i < g_.num_ases(); ++i) {
-    const AsId as(static_cast<std::uint32_t>(i));
-    const auto& routers = plan.routers_of(as);
-    for (std::size_t x = 0; x < routers.size(); ++x) {
-      for (std::size_t y = x + 1; y < routers.size(); ++y) {
-        const auto [px, py] = net.connect_ibgp(routers[x], routers[y],
-                                               params_.ibgp_rate,
-                                               params_.ibgp_delay);
-        em.wirings[i].intra.push_back(
-            core::AsWiring::IntraPort{routers[x], routers[y], px});
-        em.wirings[i].intra.push_back(
-            core::AsWiring::IntraPort{routers[y], routers[x], py});
-      }
-    }
-  }
-
-  // Hosts.
-  std::unordered_map<std::uint32_t, PortId> host_port;  // host -> router port
-  for (const AsId as : pending_hosts_) {
-    const RouterId attach = plan.routers_of(as).front();
-    const HostId h = net.add_host();
-    const PortId rp = net.connect_host(attach, h, params_.host_rate,
-                                       params_.host_delay);
-    host_port.emplace(h.value(), rp);
-    em.hosts.push_back(
-        HostAttachment{h, as, attach, net.host_addr(h)});
-  }
-
-  // FIBs + per-AS prefix knowledge, one destination prefix per host.
-  std::vector<std::vector<core::PrefixRoutes>> prefix_routes(g_.num_ases());
-  for (const auto& att : em.hosts) {
-    const bgp::RouteStore routes(g_, att.as);
-    for (std::size_t x = 0; x < g_.num_ases(); ++x) {
-      const AsId as(static_cast<std::uint32_t>(x));
-      const auto& routers = plan.routers_of(as);
-      if (as == att.as) {
-        // Local delivery: towards the attachment router, then the host port.
-        for (const RouterId r : routers) {
-          if (r == att.router) {
-            net.router(r).fib().set_route(att.addr,
-                                          host_port.at(att.host.value()));
-          } else {
-            const PortId via = em.wirings[x].intra_port(r, att.router);
-            MIFO_ASSERT(via.valid());
-            net.router(r).fib().set_route(att.addr, via);
-          }
-        }
-        prefix_routes[x].push_back(
-            core::PrefixRoutes{att.addr, AsId::invalid(), {}});
-        continue;
-      }
-      const bgp::Route& best = routes.best(as);
-      if (!best.valid()) continue;  // unreachable: no FIB entry
-      const RouterId egress = plan.border_towards(as, best.next_hop);
-      const auto* eg = em.wirings[x].egress_to(best.next_hop);
-      MIFO_ASSERT(eg != nullptr);
-      for (const RouterId r : routers) {
-        if (r == egress) {
-          net.router(r).fib().set_route(att.addr, eg->port);
-        } else {
-          const PortId via = em.wirings[x].intra_port(r, egress);
-          MIFO_ASSERT(via.valid());
-          net.router(r).fib().set_route(att.addr, via);
-        }
-      }
-      core::PrefixRoutes pr;
-      pr.prefix = att.addr;
-      pr.default_neighbor = best.next_hop;
-      for (const auto& nb : g_.neighbors(as)) {
-        if (nb.as == best.next_hop) continue;
-        if (routes.rib_from(as, nb.as)) {
-          pr.alternatives.push_back(nb.as);
-        }
-      }
-      prefix_routes[x].push_back(std::move(pr));
-    }
-  }
+  std::vector<std::vector<core::PrefixRoutes>> prefix_routes;
+  wire_network(*em.net, g_, *em.plan, params_, pending_hosts_, em.wirings,
+               em.hosts, prefix_routes);
 
   // Daemons (constructed for every AS; only ticked once enabled).
   em.daemons.reserve(g_.num_ases());

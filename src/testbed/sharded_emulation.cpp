@@ -1,0 +1,272 @@
+#include "testbed/sharded_emulation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "testbed/wiring.hpp"
+#include "topo/generator.hpp"
+
+namespace mifo::testbed {
+
+void ShardedEmulation::enable_mifo(const std::vector<AsId>& ases,
+                                   const dp::RouterConfig& base_config,
+                                   SimTime daemon_interval) {
+  for (const AsId as : ases) {
+    MIFO_EXPECTS(as.value() < daemons.size());
+    for (const RouterId r : wirings[as.value()].routers) {
+      dp::RouterConfig cfg = base_config;
+      cfg.mifo_enabled = true;
+      net->router(r).config() = cfg;
+    }
+    core::MifoDaemon* daemon = daemons[as.value()].get();
+    net->add_periodic(as, daemon_interval,
+                      [daemon](dp::Network& n, SimTime now) {
+                        daemon->tick(n, now);
+                      });
+  }
+}
+
+const HostAttachment& ShardedEmulation::attachment(HostId h) const {
+  for (const auto& a : hosts) {
+    if (a.host == h) return a;
+  }
+  MIFO_EXPECTS(false && "unknown host");
+  return hosts.front();  // unreachable
+}
+
+ShardedEmulationBuilder::ShardedEmulationBuilder(const topo::AsGraph& g,
+                                                 std::vector<bool> expand,
+                                                 BuildParams params)
+    : g_(g), expand_(std::move(expand)), params_(params) {
+  MIFO_EXPECTS(expand_.size() == g.num_ases());
+}
+
+HostId ShardedEmulationBuilder::attach_host(AsId as) {
+  MIFO_EXPECTS(as.value() < g_.num_ases());
+  pending_hosts_.push_back(as);
+  return HostId(static_cast<std::uint32_t>(pending_hosts_.size() - 1));
+}
+
+ShardedEmulation ShardedEmulationBuilder::finalize(std::size_t num_shards,
+                                                   dp::ShardConfig cfg) {
+  ShardedEmulation em;
+  em.net = std::make_unique<dp::ShardedNetwork>(num_shards, cfg);
+  em.plan = std::make_unique<bgp::IbgpPlan>(g_, expand_);
+
+  std::vector<std::vector<core::PrefixRoutes>> prefix_routes;
+  wire_network(*em.net, g_, *em.plan, params_, pending_hosts_, em.wirings,
+               em.hosts, prefix_routes);
+
+  em.daemons.reserve(g_.num_ases());
+  for (std::size_t i = 0; i < g_.num_ases(); ++i) {
+    em.daemons.push_back(std::make_unique<core::MifoDaemon>(
+        em.wirings[i], std::move(prefix_routes[i])));
+  }
+  return em;
+}
+
+// --- scaled scenario ----------------------------------------------------------
+
+namespace {
+
+struct Scenario {
+  topo::AsGraph g;
+  std::vector<bool> expand;
+  std::vector<std::pair<AsId, AsId>> pairs;  ///< (src AS, dst AS) per host pair
+};
+
+Scenario make_scenario(const ScaledParams& p) {
+  topo::GeneratorParams gp;
+  gp.num_ases = p.num_ases;
+  gp.num_tier1 = p.num_tier1;
+  gp.seed = p.seed;
+  Scenario sc{topo::generate_topology(gp), {}, {}};
+  sc.expand = scaled_expand_mask(sc.g, p.expand_degree_cap);
+
+  Rng rng(hash64(p.seed ^ 0x5ca1ab1e5ca1ab1eull));
+  const auto n = static_cast<std::uint64_t>(sc.g.num_ases());
+  for (std::size_t k = 0; k < p.num_host_pairs; ++k) {
+    const auto src = static_cast<std::uint32_t>(rng.bounded(n));
+    std::uint32_t dst = src;
+    while (dst == src) dst = static_cast<std::uint32_t>(rng.bounded(n));
+    sc.pairs.emplace_back(AsId(src), AsId(dst));
+  }
+  return sc;
+}
+
+struct FlowOutcome {
+  bool done = false;
+  SimTime end_time = 0.0;
+  std::uint32_t received = 0;  ///< receiver-side in-order progress
+};
+
+/// Order-independent only across engines, not across scenarios: the fields
+/// are mixed in a fixed order, so equal digests <=> identical outcomes.
+std::uint64_t digest_outcome(
+    const ScaledResult& res, const std::vector<FlowOutcome>& flows) {
+  std::uint64_t d = hash64(0x6d69666f);  // "mifo"
+  const auto mix = [&d](std::uint64_t v) { d = hash_combine(d, hash64(v)); };
+  mix(res.injected_pkts);
+  mix(res.delivered_pkts);
+  for (const auto& [reason, count] : res.drops) {
+    if (reason == "ring_overflow") continue;  // absent from the serial oracle
+    mix(count);
+  }
+  for (const FlowOutcome& f : flows) {
+    mix(f.done ? 1 : 0);
+    mix(std::bit_cast<std::uint64_t>(f.end_time));
+    mix(f.received);
+  }
+  return d;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs `net` in parked segments until every flow reports done (or the cap),
+/// so control-plane periodics stop costing events once traffic drains. Both
+/// engines use the same segmentation, which keeps their runs comparable.
+template <typename NetT, typename DonePred>
+void run_segmented(NetT& net, SimTime time_cap, const DonePred& all_done) {
+  constexpr SimTime kSegment = 0.25;
+  SimTime t = 0.0;
+  while (t < time_cap && !all_done()) {
+    t = std::min(t + kSegment, time_cap);
+    net.run_until(t);
+  }
+}
+
+template <typename NetT>
+std::vector<FlowId> schedule_flows(NetT& net, const ScaledParams& p,
+                                   const std::vector<HostAttachment>& hosts) {
+  std::vector<FlowId> ids;
+  for (std::size_t k = 0; k < p.num_host_pairs; ++k) {
+    for (std::size_t f = 0; f < p.flows_per_pair; ++f) {
+      dp::FlowParams fp;
+      fp.src = hosts[2 * k].host;
+      fp.dst = hosts[2 * k + 1].host;
+      fp.size = p.flow_size;
+      fp.pkt_size = p.pkt_size;
+      fp.start =
+          static_cast<SimTime>(k * p.flows_per_pair + f) * p.flow_stagger;
+      ids.push_back(net.start_flow(fp));
+    }
+  }
+  return ids;
+}
+
+std::vector<AsId> all_ases(const topo::AsGraph& g) {
+  std::vector<AsId> ases;
+  ases.reserve(g.num_ases());
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    ases.push_back(AsId(static_cast<std::uint32_t>(i)));
+  }
+  return ases;
+}
+
+}  // namespace
+
+std::vector<bool> scaled_expand_mask(const topo::AsGraph& g,
+                                     std::size_t degree_cap) {
+  std::vector<bool> expand(g.num_ases());
+  for (std::size_t i = 0; i < g.num_ases(); ++i) {
+    const std::size_t deg =
+        g.neighbors(AsId(static_cast<std::uint32_t>(i))).size();
+    expand[i] = deg >= 2 && deg <= degree_cap;
+  }
+  return expand;
+}
+
+ScaledResult run_scaled(const ScaledParams& p) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Scenario sc = make_scenario(p);
+
+  ScaledResult res;
+  res.num_shards = p.num_shards;
+  res.flows_total = p.num_host_pairs * p.flows_per_pair;
+  std::vector<FlowOutcome> outcomes;
+
+  if (p.num_shards == 0) {
+    // Serial oracle engine.
+    EmulationBuilder builder(sc.g, sc.expand, p.build);
+    for (const auto& [src, dst] : sc.pairs) {
+      builder.attach_host(src);
+      builder.attach_host(dst);
+    }
+    Emulation em = builder.finalize();
+    if (p.mifo) {
+      em.enable_mifo(all_ases(sc.g), p.router_config, p.daemon_interval);
+    }
+    const std::vector<FlowId> ids = schedule_flows(*em.net, p, em.hosts);
+    res.wall_build_seconds = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    dp::Network& net = *em.net;
+    run_segmented(net, p.time_cap, [&] {
+      return std::all_of(ids.begin(), ids.end(),
+                         [&](FlowId id) { return net.flow(id).done; });
+    });
+    res.wall_run_seconds = seconds_since(t1);
+
+    res.num_routers = net.num_routers();
+    res.injected_pkts = net.injected_pkts();
+    res.delivered_pkts = net.delivered_pkts();
+    res.drops = net.drop_breakdown();
+    for (const FlowId id : ids) {
+      const dp::FlowState& f = net.flow(id);
+      outcomes.push_back(FlowOutcome{f.done, f.end_time, f.expected});
+    }
+  } else {
+    ShardedEmulationBuilder builder(sc.g, sc.expand, p.build);
+    for (const auto& [src, dst] : sc.pairs) {
+      builder.attach_host(src);
+      builder.attach_host(dst);
+    }
+    ShardedEmulation em = builder.finalize(p.num_shards, p.shard);
+    if (p.mifo) {
+      em.enable_mifo(all_ases(sc.g), p.router_config, p.daemon_interval);
+    }
+    const std::vector<FlowId> ids = schedule_flows(*em.net, p, em.hosts);
+    res.wall_build_seconds = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    dp::ShardedNetwork& net = *em.net;
+    run_segmented(net, p.time_cap, [&] {
+      return std::all_of(ids.begin(), ids.end(), [&](FlowId id) {
+        return net.sender_flow(id).done;
+      });
+    });
+    res.wall_run_seconds = seconds_since(t1);
+
+    res.num_routers = net.num_routers();
+    res.injected_pkts = net.injected_pkts();
+    res.delivered_pkts = net.delivered_pkts();
+    res.drops = net.drop_breakdown();
+    res.ring_overflow = res.drops.back().second;
+    for (const dp::RingStats& rs : net.ring_stats()) {
+      res.ring_pushed += rs.pushed;
+      res.ring_peak = std::max(res.ring_peak, rs.peak);
+    }
+    for (const FlowId id : ids) {
+      const dp::FlowState& snd = net.sender_flow(id);
+      outcomes.push_back(
+          FlowOutcome{snd.done, snd.end_time, net.receiver_flow(id).expected});
+    }
+  }
+
+  for (const FlowOutcome& f : outcomes) {
+    if (f.done) {
+      ++res.flows_done;
+      res.last_completion = std::max(res.last_completion, f.end_time);
+    }
+  }
+  res.outcome_digest = digest_outcome(res, outcomes);
+  return res;
+}
+
+}  // namespace mifo::testbed

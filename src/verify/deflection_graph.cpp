@@ -26,9 +26,10 @@ struct Succ {
 /// All transitions a packet in state (r, tag, returned) could take under
 /// Algorithm 1 as implemented by dp::Router::handle_packet. Congestion and
 /// flow pinning are abstracted: a MIFO-enabled router may always deflect.
-void successors(const dp::Network& net, dp::Addr dst, std::uint32_t r,
-                bool tag, bool returned, std::vector<Succ>& out) {
-  const dp::Router& router = net.routers()[r];
+void successors(std::span<const dp::Router> routers, dp::Addr dst,
+                std::uint32_t r, bool tag, bool returned,
+                std::vector<Succ>& out) {
+  const dp::Router& router = routers[r];
   const auto fe = router.fib().lookup(dst);
   if (!fe) return;  // line 4: no route -> drop, terminal
 
@@ -42,8 +43,8 @@ void successors(const dp::Network& net, dp::Addr dst, std::uint32_t r,
       // applies the line-11 return test: sender == its default next hop.
       // (Full-mesh iBGP: the port peer IS the encapsulation target.)
       bool ret2 = false;
-      if (const auto fs = net.routers()[s].fib().lookup(dst)) {
-        const dp::Port& so = net.routers()[s].port(fs->out_port);
+      if (const auto fs = routers[s].fib().lookup(dst)) {
+        const dp::Port& so = routers[s].port(fs->out_port);
         ret2 = so.peer_addr == router.addr();
       }
       out.push_back(
@@ -59,7 +60,7 @@ void successors(const dp::Network& net, dp::Addr dst, std::uint32_t r,
     }
     // Lines 5–10 at the next AS entering point: the tag is rewritten from
     // the ingress port's relationship (what our AS is to the peer's AS).
-    const dp::Port& ingress = net.routers()[s].port(alt.peer_port);
+    const dp::Port& ingress = routers[s].port(alt.peer_port);
     const bool tag2 = topo::tag_bit(ingress.neighbor_rel);
     out.push_back({state_id(s, tag2, false),
                    Hop{RouterId(r), RouterId(s), HopKind::AltEbgp, tag}});
@@ -78,7 +79,7 @@ void successors(const dp::Network& net, dp::Addr dst, std::uint32_t r,
     const std::uint32_t s = def.peer.id;
     bool tag2 = tag;
     if (def.kind == dp::PortKind::Ebgp) {
-      const dp::Port& ingress = net.routers()[s].port(def.peer_port);
+      const dp::Port& ingress = routers[s].port(def.peer_port);
       tag2 = topo::tag_bit(ingress.neighbor_rel);
     }
     out.push_back({state_id(s, tag2, false),
@@ -92,10 +93,9 @@ void successors(const dp::Network& net, dp::Addr dst, std::uint32_t r,
 /// Ingress states packets can genuinely enter the network in: host-origin
 /// traffic (tag = 1) where a host or customer attaches, plus one state per
 /// eBGP ingress port with the tag that port's Tag-step would write.
-std::vector<std::uint32_t> entry_states(const dp::Network& net,
+std::vector<std::uint32_t> entry_states(std::span<const dp::Router> routers,
                                         dp::Addr dst) {
   std::vector<std::uint32_t> entries;
-  const auto routers = net.routers();
   for (std::uint32_t r = 0; r < routers.size(); ++r) {
     if (!routers[r].fib().contains(dst)) continue;
     for (const dp::Port& p : routers[r].ports()) {
@@ -145,9 +145,9 @@ std::string Cycle::to_string() const {
   return os.str();
 }
 
-std::vector<dp::Addr> fib_destinations(const dp::Network& net) {
+std::vector<dp::Addr> fib_destinations(std::span<const dp::Router> routers) {
   std::unordered_set<dp::Addr> seen;
-  for (const dp::Router& r : net.routers()) {
+  for (const dp::Router& r : routers) {
     for (const auto& [dst, fe] : r.fib()) seen.insert(dst);
   }
   std::vector<dp::Addr> dests(seen.begin(), seen.end());
@@ -155,11 +155,15 @@ std::vector<dp::Addr> fib_destinations(const dp::Network& net) {
   return dests;
 }
 
-LoopCheck check_loop_freedom(const dp::Network& net,
+std::vector<dp::Addr> fib_destinations(const dp::Network& net) {
+  return fib_destinations(net.routers());
+}
+
+LoopCheck check_loop_freedom(std::span<const dp::Router> routers,
                              std::span<const dp::Addr> dests) {
   LoopCheck result;
   result.stats.destinations = dests.size();
-  const std::size_t num_states = net.num_routers() * 4;
+  const std::size_t num_states = routers.size() * 4;
   std::vector<std::uint8_t> color(num_states);
   std::vector<Frame> stack;
 
@@ -167,12 +171,12 @@ LoopCheck check_loop_freedom(const dp::Network& net,
     std::fill(color.begin(), color.end(), kWhite);
     bool cycle_found = false;
 
-    for (const std::uint32_t entry : entry_states(net, dst)) {
+    for (const std::uint32_t entry : entry_states(routers, dst)) {
       if (cycle_found || color[entry] != kWhite) continue;
       color[entry] = kGray;
       stack.clear();
       stack.push_back(Frame{entry, Hop{}, {}, 0});
-      successors(net, dst, state_router(entry), (entry & 2u) != 0,
+      successors(routers, dst, state_router(entry), (entry & 2u) != 0,
                  (entry & 1u) != 0, stack.back().succs);
       result.stats.edges += stack.back().succs.size();
       ++result.stats.states;
@@ -206,7 +210,7 @@ LoopCheck check_loop_freedom(const dp::Network& net,
         if (color[succ.state] == kWhite) {
           color[succ.state] = kGray;
           stack.push_back(Frame{succ.state, succ.hop, {}, 0});
-          successors(net, dst, state_router(succ.state),
+          successors(routers, dst, state_router(succ.state),
                      (succ.state & 2u) != 0, (succ.state & 1u) != 0,
                      stack.back().succs);
           result.stats.edges += stack.back().succs.size();
@@ -218,9 +222,18 @@ LoopCheck check_loop_freedom(const dp::Network& net,
   return result;
 }
 
+LoopCheck check_loop_freedom(const dp::Network& net,
+                             std::span<const dp::Addr> dests) {
+  return check_loop_freedom(net.routers(), dests);
+}
+
+LoopCheck check_loop_freedom(std::span<const dp::Router> routers) {
+  const auto dests = fib_destinations(routers);
+  return check_loop_freedom(routers, dests);
+}
+
 LoopCheck check_loop_freedom(const dp::Network& net) {
-  const auto dests = fib_destinations(net);
-  return check_loop_freedom(net, dests);
+  return check_loop_freedom(net.routers());
 }
 
 }  // namespace mifo::verify

@@ -70,14 +70,22 @@ struct LoopCheck {
 };
 
 /// Every destination address present in any router FIB, ascending.
+[[nodiscard]] std::vector<dp::Addr> fib_destinations(
+    std::span<const dp::Router> routers);
 [[nodiscard]] std::vector<dp::Addr> fib_destinations(const dp::Network& net);
 
 /// Proves (or refutes) loop-freedom of the installed forwarding state for
 /// the given destinations. Exhaustive over states, not over packet runs.
+/// The span overload is what the sharded plane feeds: a consistent
+/// whole-network snapshot assembled by ShardedNetwork::gather_routers() at
+/// a quiescent point (DESIGN.md §6).
+[[nodiscard]] LoopCheck check_loop_freedom(std::span<const dp::Router> routers,
+                                           std::span<const dp::Addr> dests);
 [[nodiscard]] LoopCheck check_loop_freedom(const dp::Network& net,
                                            std::span<const dp::Addr> dests);
 
 /// Convenience: all destinations found in the FIBs.
+[[nodiscard]] LoopCheck check_loop_freedom(std::span<const dp::Router> routers);
 [[nodiscard]] LoopCheck check_loop_freedom(const dp::Network& net);
 
 }  // namespace mifo::verify

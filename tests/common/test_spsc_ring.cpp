@@ -1,0 +1,100 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mifo {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, PushPopFifoSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t{i}));
+    // Keep a fluctuating backlog (0-2 items) so head/tail wrap the 4-slot
+    // buffer hundreds of times at varying offsets.
+    while (ring.size() > i % 3) {
+      std::uint64_t out = 0;
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, expect++);
+    }
+  }
+  std::uint64_t out = 0;
+  while (ring.try_pop(out)) EXPECT_EQ(out, expect++);
+  EXPECT_EQ(expect, 1000u);
+}
+
+TEST(SpscRing, DrainIntoAppendsInOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  std::vector<int> out{-1};
+  EXPECT_EQ(ring.drain_into(out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayloads) {
+  SpscRing<std::unique_ptr<std::string>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<std::string>("hello")));
+  std::unique_ptr<std::string> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "hello");
+}
+
+// One producer, one consumer, full backpressure: every value arrives exactly
+// once, in order. Run under TSan by scripts/check.sh.
+TEST(SpscRing, ConcurrentProducerConsumerPreservesFifo) {
+  constexpr std::uint64_t kCount = 50000;
+  SpscRing<std::uint64_t> ring(256);
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    std::uint64_t v = 0;
+    while (expect < kCount) {
+      if (ring.try_pop(v)) {
+        ASSERT_EQ(v, expect);
+        sum += v;
+        ++expect;
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(std::uint64_t{i})) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace mifo

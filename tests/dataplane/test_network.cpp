@@ -153,5 +153,58 @@ TEST(Network, TtlExpiryDropsLoopingPacket) {
             1u);
 }
 
+TEST(Network, RunUntilTieBreakIsStableFifo) {
+  // Events with identical timestamps must dispatch in creation order
+  // (event_seq_ FIFO). The sharded plane's epoch barrier (shard.hpp) relies
+  // on this invariant to keep per-shard dispatch deterministic, so a change
+  // to EventLater's tie-break is a cross-engine breakage, not a tweak.
+  Network net;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    // Same interval => all eight events carry the same timestamp each round.
+    net.add_periodic(0.25, [i, &fired](Network&, SimTime) {
+      fired.push_back(i);
+    });
+  }
+  net.run_until(0.25);
+  ASSERT_EQ(fired.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(fired[i], i);
+
+  // Each dispatch re-arms in dispatch order, so the order is stable across
+  // rounds too — not just for the initially registered batch.
+  for (int round = 2; round <= 5; ++round) {
+    fired.clear();
+    net.run_until(0.25 * round);
+    ASSERT_EQ(fired.size(), 8u) << "round " << round;
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(fired[i], i) << "round " << round;
+  }
+}
+
+TEST(Network, RegisterFlowDoesNotSchedule) {
+  // register_flow is the shard-replica half of start_flow: the FlowState
+  // exists (receiver side needs it) but no FlowStart event is pushed and
+  // nothing is ever transmitted from this replica.
+  Network net;
+  const RouterId r0 = net.add_router(AsId(0));
+  const RouterId r1 = net.add_router(AsId(1));
+  const HostId h1 = net.add_host();
+  const HostId h2 = net.add_host();
+  net.connect_host(r0, h1);
+  net.connect_host(r1, h2);
+  net.connect_ebgp(r0, r1, topo::Rel::Peer);
+
+  FlowParams fp;
+  fp.src = h1;
+  fp.dst = h2;
+  fp.size = 10 * 1000;
+  const FlowId id = net.register_flow(fp);
+  EXPECT_EQ(net.flows().size(), 1u);
+  EXPECT_EQ(net.flow(id).total_pkts, 10u);
+  EXPECT_TRUE(net.idle());
+  net.run_until(1.0);
+  EXPECT_EQ(net.injected_pkts(), 0u);
+  EXPECT_FALSE(net.flow(id).started);
+}
+
 }  // namespace
 }  // namespace mifo::dp
