@@ -128,7 +128,24 @@ void print_sharded_plane() {
     rings.set("overflow", obs::Json::num(a.r.ring_overflow));
     rings.set("occupancy_peak",
               obs::Json::num(static_cast<std::uint64_t>(a.r.ring_peak)));
+    obs::Json pairs = obs::Json::array();
+    for (const dp::RingStats& rs : a.r.ring_pairs) {
+      obs::Json pj = obs::Json::object();
+      pj.set("from", obs::Json::num(static_cast<std::uint64_t>(rs.from)));
+      pj.set("to", obs::Json::num(static_cast<std::uint64_t>(rs.to)));
+      pj.set("pushed", obs::Json::num(rs.pushed));
+      pj.set("overflow", obs::Json::num(rs.overflow));
+      pj.set("occupancy_peak",
+             obs::Json::num(static_cast<std::uint64_t>(rs.peak)));
+      pairs.push(std::move(pj));
+    }
+    rings.set("pairs", std::move(pairs));
     j.set("rings", std::move(rings));
+    obs::Json drops = obs::Json::object();
+    for (const auto& [reason, count] : a.r.drops) {
+      drops.set(reason, obs::Json::num(count));
+    }
+    j.set("drops", std::move(drops));
     char digest[20];
     std::snprintf(digest, sizeof(digest), "%016llx",
                   static_cast<unsigned long long>(a.r.outcome_digest));

@@ -112,9 +112,34 @@ latencies = [ev["recovery_latency"] for ev in c["events"]
              if "recovery_latency" in ev]
 assert latencies and all(l >= 0 for l in latencies), latencies
 assert {"drops", "metrics"} <= a.keys()
+# Flight-recorder sections (docs/OBSERVABILITY.md): structured fault spans,
+# the per-class recovery-latency table, the merged cross-shard timeline, and
+# the top-congested-links snapshot.
+spans = c["spans"]
+assert spans and len(spans) == c["events_applied"], len(spans)
+for sp in spans:
+    assert {"event_index", "kind", "t_injected"} <= sp.keys(), sp
+    if "t_first_impact" in sp:
+        assert sp["t_first_impact"] >= sp["t_injected"], sp
+    if "t_verified" in sp:
+        assert sp["t_verified"] >= sp.get("t_reconverged",
+                                          sp["t_injected"]), sp
+rbc = c["recovery_by_class"]
+assert rbc, "empty recovery_by_class"
+for kind, row in rbc.items():
+    assert row["count"] > 0 and row["min_s"] <= row["mean_s"] <= \
+        row["max_s"], (kind, row)
+tl = a["timeline"]
+assert tl["events"], "empty merged timeline"
+epochs = [ev["epoch"] for ev in tl["events"]]
+assert epochs == sorted(epochs), "timeline not epoch-monotone"
+assert a["links"], "empty congested-links snapshot"
+for ln in a["links"]:
+    assert {"router", "port", "bytes_sent"} <= ln.keys(), ln
 print(f"chaos artifact OK: {c['events_applied']} events, "
       f"{c['checks_run']} clean snapshots, "
-      f"{len(latencies)} recovery latencies")
+      f"{len(latencies)} recovery latencies, {len(spans)} spans, "
+      f"{len(tl['events'])} timeline events")
 PY
 # ...bit-reproducibly: the same (topology, seed, plan) gives the same bytes.
 mv "$artifact_dir/chaos_run.json" "$artifact_dir/chaos_run.first.json"
@@ -134,6 +159,22 @@ grep -q "cycle" <<< "$chaos_out"
 grep -q "verdict: UNSAFE" <<< "$chaos_out"
 echo "chaos OK: randomized churn proved safe, reproducible, planted" \
      "violation caught"
+
+echo "=== mifo-trace: flight-recorder rendering (docs/OBSERVABILITY.md) ==="
+# --check proves the merged timeline is epoch-monotone and every span
+# causally ordered (exit 2 otherwise), and the human rendering must be
+# byte-reproducible for the same artifact bytes.
+"$build_dir"/tools/mifo-trace --check "$artifact_dir/chaos_run.json" \
+  > /dev/null
+"$build_dir"/tools/mifo-trace "$artifact_dir/chaos_run.json" \
+  > "$artifact_dir/trace_render.first.txt"
+"$build_dir"/tools/mifo-trace "$artifact_dir/chaos_run.json" \
+  > "$artifact_dir/trace_render.second.txt"
+diff "$artifact_dir/trace_render.first.txt" \
+     "$artifact_dir/trace_render.second.txt"
+grep -q "recovery latency by failure class" \
+  "$artifact_dir/trace_render.first.txt"
+echo "mifo-trace OK: timeline checked, rendering byte-reproducible"
 
 echo "=== sharded plane: sharded-vs-serial differential gate ==="
 # The scaling bench doubles as the full-scale differential: every worker
@@ -159,6 +200,23 @@ for name, arm in arms.items():
     assert arm["outcome_digest"] == serial, (name, arm["outcome_digest"])
     assert arm["digest_matches_serial"] is True, name
     assert arm["rings"]["overflow"] == 0, name
+    # Per-arm drop buckets must agree with the serial oracle (the digest
+    # already covers them; this keeps the JSON section honest too). The
+    # sharded arms add a ring_overflow bucket the serial plane cannot have.
+    common = {k: v for k, v in arm["drops"].items() if k != "ring_overflow"}
+    assert common == arms["serial"]["drops"], name
+    assert arm["drops"].get("ring_overflow", 0) == 0, name
+    # Arms with >=2 workers carry per-ring-pair occupancy stats; serial and
+    # the single-worker arm have no cross-shard rings.
+    pairs = arm["rings"]["pairs"]
+    if name in ("serial", "1w"):
+        assert pairs == [], name
+    else:
+        assert pairs, name
+        for p in pairs:
+            assert {"from", "to", "pushed", "overflow",
+                    "occupancy_peak"} <= p.keys(), (name, p)
+            assert p["overflow"] == 0, (name, p)
 print(f"sharded differential OK: {len(arms)} arms bit-exact "
       f"({a['scale']['routers']} routers, digest {serial})")
 PY
@@ -173,7 +231,7 @@ cmake --build "$tsan_dir" -j "$jobs" \
 "$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*:SpscRing.*'
 "$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
 "$tsan_dir"/tests/test_dataplane --gtest_filter='ShardedNetwork.*'
-"$tsan_dir"/tests/test_integration --gtest_filter='ShardedDifferential.*'
+"$tsan_dir"/tests/test_integration --gtest_filter='ShardedDifferential.*:ShardedFlightRecorder.*'
 
 echo "=== UBSan: full test suite (${ubsan_dir}) ==="
 # -fno-sanitize-recover=all is wired in by the CMakeLists, so any UB aborts

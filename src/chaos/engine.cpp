@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 #include "common/contracts.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +53,58 @@ obs::Json Report::to_json() const {
     viols.push(std::move(j));
   }
   root.set("violations", std::move(viols));
+
+  obs::Json span_arr = obs::Json::array();
+  for (const Span& sp : spans) {
+    obs::Json j = obs::Json::object();
+    j.set("event_index",
+          obs::Json::num(static_cast<std::uint64_t>(sp.event_index)));
+    j.set("kind", obs::Json::str(chaos::to_string(sp.kind)));
+    j.set("t_injected", obs::Json::num(sp.t_injected));
+    if (sp.t_first_impact >= 0.0) {
+      j.set("t_first_impact", obs::Json::num(sp.t_first_impact));
+    }
+    if (sp.t_reconverged >= 0.0) {
+      j.set("t_reconverged", obs::Json::num(sp.t_reconverged));
+    }
+    if (sp.t_verified >= 0.0) {
+      j.set("t_verified", obs::Json::num(sp.t_verified));
+    }
+    span_arr.push(std::move(j));
+  }
+  root.set("spans", std::move(span_arr));
+
+  // Per-failure-class recovery-latency breakdown: every failure kind whose
+  // paired recovery was verified clean contributes (t_verified - t_injected).
+  struct ClassAgg {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, ClassAgg> by_class;  // ordered => stable JSON
+  for (const AppliedEvent& ae : log) {
+    if (ae.recovery_latency < 0.0) continue;
+    ClassAgg& agg = by_class[std::string(chaos::to_string(ae.event.kind))];
+    if (agg.count == 0 || ae.recovery_latency < agg.min) {
+      agg.min = ae.recovery_latency;
+    }
+    if (agg.count == 0 || ae.recovery_latency > agg.max) {
+      agg.max = ae.recovery_latency;
+    }
+    ++agg.count;
+    agg.sum += ae.recovery_latency;
+  }
+  obs::Json classes = obs::Json::object();
+  for (const auto& [kind, agg] : by_class) {
+    obs::Json j = obs::Json::object();
+    j.set("count", obs::Json::num(agg.count));
+    j.set("mean_s", obs::Json::num(agg.sum / static_cast<double>(agg.count)));
+    j.set("min_s", obs::Json::num(agg.min));
+    j.set("max_s", obs::Json::num(agg.max));
+    classes.set(kind, std::move(j));
+  }
+  root.set("recovery_by_class", std::move(classes));
   return root;
 }
 
@@ -71,14 +124,42 @@ void Engine::attach_registry(obs::Registry& reg, const std::string& labels) {
   m_events_ = reg.counter("chaos.events_applied", labels);
   m_checks_ = reg.counter("chaos.checks", labels);
   m_violations_ = reg.counter("chaos.violations", labels);
-  m_recovery_ = reg.histogram("chaos.recovery_latency", 0.0, 2.0, 40, labels);
+  // Explicit bounds: observed recovery latencies span ~10 ms (one daemon
+  // tick) to ~1 s (drain-resolved), so uniform 50 ms bins would smear the
+  // entire fast mode into one bucket.
+  m_recovery_ = reg.histogram(
+      "chaos.recovery_latency",
+      {0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0},
+      labels);
   shard_ = &reg.create_shard();
+  dump_ = std::make_unique<obs::DumpService>(reg);
+}
+
+std::uint64_t Engine::drop_sum() const {
+  std::uint64_t total = 0;
+  for (const auto& [reason, count] : em_->net->drop_breakdown()) {
+    total += count;
+  }
+  return total;
 }
 
 bool Engine::snapshot(Report& report, SimTime t) {
   if (!cfg_.verify) return true;
   ++report.checks_run;
   if (shard_) shard_->add(m_checks_);
+
+  // First-impact attribution: any fault whose injection-time drop baseline
+  // has been exceeded by now saw its first dropped packet in (inject, t].
+  const std::uint64_t drops_now = drop_sum();
+  for (std::size_t i = 0; i < pending_impacts_.size();) {
+    if (drops_now > pending_impacts_[i].drop_baseline) {
+      report.spans[pending_impacts_[i].span_index].t_first_impact = t;
+      pending_impacts_[i] = pending_impacts_.back();
+      pending_impacts_.pop_back();
+    } else {
+      ++i;
+    }
+  }
 
   const dp::Network& net = *em_->net;
   const auto loop_check = verify::check_loop_freedom(net);
@@ -111,6 +192,12 @@ bool Engine::snapshot(Report& report, SimTime t) {
         AppliedEvent& fail_ev = report.log[pr.fail_index];
         fail_ev.recovery_latency = t - pr.fail_t;
         if (shard_) shard_->observe(m_recovery_, t - pr.fail_t);
+        for (Span& sp : report.spans) {
+          if (sp.event_index == pr.fail_index) {
+            sp.t_verified = t;
+            break;
+          }
+        }
         pending_recoveries_[i] = pending_recoveries_.back();
         pending_recoveries_.pop_back();
       } else {
@@ -118,6 +205,7 @@ bool Engine::snapshot(Report& report, SimTime t) {
       }
     }
   }
+  if (dump_) dump_->service();
   return clean;
 }
 
@@ -383,6 +471,10 @@ Report Engine::run(const Plan& plan) {
     }
     const Event& ev = plan.events[ei];
     net.run_until(ev.t);
+    // Baseline before the fault lands: apply() can drop queued packets
+    // synchronously (a pulled cable flushes its queue), and that flush IS
+    // the first impact.
+    const std::uint64_t drops_before = drop_sum();
     const auto [applied, detail] = apply(ev);
     AppliedEvent ae;
     ae.event = ev;
@@ -392,6 +484,13 @@ Report Engine::run(const Plan& plan) {
     if (applied) {
       ++report.events_applied;
       if (shard_) shard_->add(m_events_);
+      Span sp;
+      sp.event_index = report.log.size();
+      sp.kind = ev.kind;
+      sp.t_injected = ev.t;
+      pending_impacts_.push_back(
+          PendingImpact{report.spans.size(), drops_before});
+      report.spans.push_back(sp);
       if (obs::Tracer* tr = net.tracer()) {
         obs::TraceEvent te;
         te.t = ev.t;
@@ -417,6 +516,12 @@ Report Engine::run(const Plan& plan) {
           if (pending_already) continue;
           pending_recoveries_.push_back(
               PendingRecovery{i, prior.event.t, ev.t});
+          for (Span& fsp : report.spans) {
+            if (fsp.event_index == i) {
+              fsp.t_reconverged = ev.t;
+              break;
+            }
+          }
           break;
         }
       }

@@ -22,6 +22,7 @@
 #include "chaos/route_control.hpp"
 #include "common/rng.hpp"
 #include "obs/artifact.hpp"
+#include "obs/exposition.hpp"
 #include "obs/registry.hpp"
 #include "testbed/emulation.hpp"
 #include "verify/deflection_graph.hpp"
@@ -62,16 +63,35 @@ struct Violation {
   std::string description;       ///< cycle or lint rendering
 };
 
+/// Structured fault-lifecycle span: the four recovery-latency milestones of
+/// one applied plan event, all in simulated seconds. -1 marks a milestone
+/// that never happened (e.g. a fault with no packet impact, or no paired
+/// recovery event). First impact is attributed by drop-counter movement
+/// between verification snapshots, so its resolution is the snapshot
+/// cadence and concurrent faults can alias onto one another — it is
+/// evidence, not proof, unlike t_verified which is a verifier verdict.
+struct Span {
+  std::size_t event_index = 0;  ///< index into Report::log
+  EventKind kind = EventKind::LinkDown;
+  SimTime t_injected = 0.0;
+  SimTime t_first_impact = -1.0;  ///< first snapshot with new drops
+  SimTime t_reconverged = -1.0;   ///< paired recovery event applied
+  SimTime t_verified = -1.0;      ///< first clean verify after the repair
+};
+
 struct Report {
   std::vector<AppliedEvent> log;
   std::vector<Violation> violations;
+  std::vector<Span> spans;  ///< one per applied event, log order
   std::size_t checks_run = 0;
   std::size_t checks_clean = 0;
   std::size_t events_applied = 0;
   bool safe = true;  ///< every snapshot loop-free and lint-clean
   verify::VerifyStats last_stats;
 
-  /// The `chaos` section of the extended mifo.run_artifact.v1 schema.
+  /// The `chaos` section of the extended mifo.run_artifact.v1 schema:
+  /// events, violations, spans and the per-failure-class recovery-latency
+  /// breakdown (recovery_by_class).
   [[nodiscard]] obs::Json to_json() const;
 };
 
@@ -85,7 +105,9 @@ class Engine {
 
   /// Attach a metrics registry: chaos.events_applied / chaos.checks /
   /// chaos.violations counters and a chaos.recovery_latency histogram
-  /// accumulate under `labels`.
+  /// (explicit bounds, 10 ms .. 2 s) accumulate under `labels`. Also arms a
+  /// live obs::DumpService: snapshots double as parked points, so SIGUSR1 /
+  /// MIFO_OBS_DUMP dumps flow out mid-run without touching the hot path.
   void attach_registry(obs::Registry& reg, const std::string& labels);
 
   /// Runs the plan to completion (events, snapshots, final drain) and
@@ -101,6 +123,14 @@ class Engine {
     SimTime recover_t;
   };
 
+  /// A span still waiting for its first packet impact: resolved at the
+  /// first snapshot whose network-wide drop total moved past the baseline
+  /// captured at injection.
+  struct PendingImpact {
+    std::size_t span_index;
+    std::uint64_t drop_baseline;
+  };
+
   /// Applies one event; returns {applied, detail}.
   std::pair<bool, std::string> apply(const Event& ev);
   void set_link_state(AsId a, AsId b, bool down, std::string& detail);
@@ -111,6 +141,10 @@ class Engine {
 
   /// Verification snapshot at the current time; updates report/metrics.
   bool snapshot(Report& report, SimTime t);
+
+  /// Network-wide drop total (all breakdown buckets) — the span
+  /// first-impact signal.
+  [[nodiscard]] std::uint64_t drop_sum() const;
 
   testbed::Emulation* em_;
   const topo::AsGraph* g_;
@@ -124,9 +158,11 @@ class Engine {
   /// Nominal rate per directed router port touched by Degrade.
   std::unordered_map<std::uint64_t, Mbps> nominal_rate_;
   std::vector<PendingRecovery> pending_recoveries_;
+  std::vector<PendingImpact> pending_impacts_;
   std::size_t last_event_index_ = 0;
   bool planted_violation_ = false;
 
+  std::unique_ptr<obs::DumpService> dump_;
   obs::Registry* reg_ = nullptr;
   obs::Registry::Shard* shard_ = nullptr;
   obs::MetricId m_events_ = 0;

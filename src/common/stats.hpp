@@ -58,20 +58,31 @@ class Cdf {
   mutable bool sorted_ = false;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins.
+/// Fixed-bin histogram. Two binning modes:
+///  * uniform — `bins` equal-width bins over [lo, hi);
+///  * explicit — caller-supplied ascending bucket edges, so skewed
+///    populations (e.g. 10 ms–1 s recovery latencies) get resolution where
+///    the mass is instead of a uniform grid.
+/// Out-of-range samples clamp to the edge bins in both modes.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
+  /// Explicit bucket edges: bin i covers [edges[i], edges[i+1]). Needs at
+  /// least two strictly ascending edges.
+  explicit Histogram(std::vector<double> edges);
 
   void add(double x);
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bin_low(std::size_t i) const;
+  /// Exclusive upper edge of bin i (== bin_low(i + 1) for inner bins).
+  [[nodiscard]] double bin_high(std::size_t i) const;
   [[nodiscard]] double fraction(std::size_t i) const;
   [[nodiscard]] double low() const { return lo_; }
   [[nodiscard]] double high() const { return hi_; }
+  /// Explicit edges (empty for uniform binning).
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
 
   /// Accumulate another histogram's counts; the binning must match.
   void merge(const Histogram& other);
@@ -79,6 +90,7 @@ class Histogram {
  private:
   double lo_;
   double hi_;
+  std::vector<double> edges_;  ///< empty: uniform mode
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };

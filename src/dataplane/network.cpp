@@ -409,6 +409,11 @@ void Network::transmit_host(HostId h, Packet p) {
   Host& hh = host(h);
   MIFO_EXPECTS(hh.connected);
   ++injected_pkts_;
+  // Flight-recorder context: every host-injected packet names the shard and
+  // epoch it entered the plane in (0/0 on the serial engine). Travels with
+  // the packet across RemoteEvent handoffs; never touches wire_bytes().
+  p.origin_shard = router_shard_ != nullptr ? self_shard_ : 0;
+  p.inject_epoch = worker_epoch_;
   enqueue_on(NodeRef::host(h), hh.uplink, 0, std::move(p));
 }
 
@@ -529,7 +534,21 @@ std::uint64_t Network::queued_pkts() const {
 
 void Network::publish_metrics(obs::Registry& reg,
                               const std::string& labels) const {
-  obs::Registry::Shard& shard = reg.create_shard();
+  // Exactly-once per (registry, labels): re-publishing overwrites the same
+  // shard (set() is idempotent) instead of stacking a second one, so a
+  // snapshot racing a later publish cannot double-count this network.
+  obs::Registry::Shard* cached = nullptr;
+  for (const PublishSlot& slot : pub_shards_) {
+    if (slot.reg == &reg && slot.labels == labels) {
+      cached = slot.shard;
+      break;
+    }
+  }
+  if (cached == nullptr) {
+    cached = &reg.create_shard();
+    pub_shards_.push_back(PublishSlot{&reg, labels, cached});
+  }
+  obs::Registry::Shard& shard = *cached;
   const RouterCounters c = total_counters();
   const auto set = [&](const char* name, std::uint64_t v) {
     shard.set(reg.counter(name, labels), static_cast<double>(v));

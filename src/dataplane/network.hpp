@@ -15,12 +15,9 @@
 #include "dataplane/port.hpp"
 #include "dataplane/router.hpp"
 #include "dataplane/transport.hpp"
+#include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
-
-namespace mifo::obs {
-class Registry;
-}
 
 namespace mifo::dp {
 
@@ -134,6 +131,16 @@ class Network {
   /// this shard's past.
   void inject_remote(RemoteEvent&& ev);
 
+  /// Current conservative epoch window of the owning shard worker (stays 0
+  /// on the serial engine). Stamped into the flight-recorder context of
+  /// every packet injected by transmit_host and mirrored into the attached
+  /// tracer, so trace events and packets agree on the epoch.
+  void set_worker_epoch(std::uint64_t epoch) {
+    worker_epoch_ = epoch;
+    if (tracer_ != nullptr) tracer_->set_epoch(epoch);
+  }
+  [[nodiscard]] std::uint64_t worker_epoch() const { return worker_epoch_; }
+
   // --- data-plane services (used by Router and transport) --------------------
   /// Enqueue `p` on router r's port, honouring queue capacity; starts
   /// transmission when the port is idle.
@@ -198,8 +205,12 @@ class Network {
   /// Total packets currently sitting in tx queues (0 once drained).
   [[nodiscard]] std::uint64_t queued_pkts() const;
 
-  /// Publish aggregate counters into `reg` under the given label (one
-  /// shard per call; snapshot after the run, not concurrently with it).
+  /// Publish aggregate counters into `reg` under the given label. Repeated
+  /// calls with the same (registry, labels) reuse one registry shard and
+  /// overwrite it in place, so a snapshot taken between two publishes (e.g.
+  /// racing a barrier rendezvous) never double-counts; calls with distinct
+  /// labels still get distinct shards. Snapshot after the run, not
+  /// concurrently with it.
   void publish_metrics(obs::Registry& reg, const std::string& labels) const;
 
  private:
@@ -264,6 +275,15 @@ class Network {
 
   obs::Tracer* tracer_ = nullptr;
   obs::LinkSeries link_samples_;
+  std::uint64_t worker_epoch_ = 0;
+  /// publish_metrics() exactly-once state: one registry shard per
+  /// (registry, labels) pair ever published to, reused on re-publish.
+  struct PublishSlot {
+    obs::Registry* reg;
+    std::string labels;
+    obs::Registry::Shard* shard;
+  };
+  mutable std::vector<PublishSlot> pub_shards_;
   std::uint64_t injected_pkts_ = 0;
   std::uint64_t delivered_pkts_ = 0;
   std::uint64_t misdelivered_pkts_ = 0;

@@ -27,6 +27,10 @@ obs::TraceEvent trace_base(obs::TraceKind kind, SimTime t, RouterId router,
   ev.flow = p.flow.value();
   ev.dst = p.dst;
   ev.tag = p.mifo_tag;
+  // Flight-recorder context carried by the packet from its injection point
+  // (possibly on another shard); the recording tracer adds shard/epoch/seq.
+  ev.origin_shard = p.origin_shard;
+  ev.inject_epoch = p.inject_epoch;
   return ev;
 }
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <limits>
 #include <thread>
 
@@ -14,7 +15,32 @@ namespace {
 constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
 /// host_shard_ value of a host that has not been connect_host()ed yet.
 constexpr std::uint32_t kUnowned = std::numeric_limits<std::uint32_t>::max();
+
+/// Shared explicit bucket bounds for the shard-runtime histograms, so the
+/// worker-local accumulators and the registry metric agree bin-for-bin
+/// (Registry::Shard::set_histogram requires identical binning).
+/// Epoch windows are sim-time: typically one cross-shard delay (~hundreds
+/// of microseconds) but stretched across idle gaps between flow starts.
+std::vector<double> epoch_window_bounds() {
+  return {0.0,    100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3,
+          10e-3,  25e-3,  50e-3,  0.1,    0.25, 1.0};
+}
+/// Barrier waits are wall-clock: sub-microsecond when the load is balanced,
+/// milliseconds when one worker owns a hot AS and the rest stall.
+std::vector<double> barrier_wait_bounds() {
+  return {0.0,   1e-6,  5e-6,  10e-6, 50e-6, 100e-6, 500e-6,
+          1e-3,  5e-3,  10e-3, 50e-3, 0.1,   1.0};
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 }  // namespace
+
+ShardedNetwork::WorkerStats::WorkerStats()
+    : epoch_window(epoch_window_bounds()),
+      barrier_wait(barrier_wait_bounds()) {}
 
 ShardedNetwork::ShardedNetwork(std::size_t num_shards, ShardConfig cfg)
     : cfg_(cfg) {
@@ -29,6 +55,7 @@ ShardedNetwork::ShardedNetwork(std::size_t num_shards, ShardConfig cfg)
   }
   slots_.resize(num_shards);
   drain_scratch_.resize(num_shards);
+  worker_stats_.resize(num_shards);
 }
 
 ShardedNetwork::~ShardedNetwork() = default;
@@ -282,16 +309,30 @@ void ShardedNetwork::run_epochs(SimTime t_end) {
 
   auto worker = [this, &bar, &ctl, t_end](std::uint32_t s) {
     Network& net = *nets_[s];
+    WorkerStats& ws = worker_stats_[s];
+    SimTime prev_horizon = net.now();
     while (true) {
       drain_into(s);
       slots_[s].next_event = net.next_event_time();
+      const auto w0 = std::chrono::steady_clock::now();
       bar.arrive_and_wait();  // completion computes horizon / done
+      ws.barrier_wait.add(wall_seconds_since(w0));
       if (ctl.done) {
         net.run_until(t_end);  // no events left <= t_end; advances the clock
         return;
       }
+      // New conservative epoch window: stamp the worker epoch (flight-
+      // recorder context for injected packets and trace events) before any
+      // event of the window executes. The epoch count is a pure function of
+      // the simulated event set, so it is identical across same-seed runs.
+      ++ws.epochs;
+      net.set_worker_epoch(net.worker_epoch() + 1);
+      ws.epoch_window.add(ctl.horizon - prev_horizon);
+      prev_horizon = ctl.horizon;
       net.run_until(ctl.horizon);
+      const auto w1 = std::chrono::steady_clock::now();
       bar.arrive_and_wait();  // everyone out of the window before draining
+      ws.barrier_wait.add(wall_seconds_since(w1));
     }
   };
 
@@ -439,6 +480,32 @@ std::uint64_t ShardedNetwork::queued_pkts() const {
   return n;
 }
 
+void ShardedNetwork::enable_tracing(std::size_t capacity_per_shard) {
+  if (!tracers_.empty()) return;
+  tracers_.reserve(num_shards());
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    tracers_.push_back(std::make_unique<obs::Tracer>(capacity_per_shard));
+    tracers_.back()->set_shard(s);
+    nets_[s]->set_tracer(tracers_.back().get());
+  }
+}
+
+void ShardedNetwork::set_trace_flow(std::uint64_t flow) {
+  for (auto& t : tracers_) t->set_flow_filter(flow);
+}
+
+const obs::Tracer* ShardedNetwork::tracer(std::uint32_t s) const {
+  if (s >= tracers_.size()) return nullptr;
+  return tracers_[s].get();
+}
+
+obs::Timeline ShardedNetwork::timeline() const {
+  std::vector<const obs::Tracer*> ts;
+  ts.reserve(tracers_.size());
+  for (const auto& t : tracers_) ts.push_back(t.get());
+  return obs::merge_timelines(ts);
+}
+
 std::vector<RingStats> ShardedNetwork::ring_stats() const {
   std::vector<RingStats> out;
   const std::uint32_t n = num_shards();
@@ -456,7 +523,21 @@ void ShardedNetwork::publish_metrics(obs::Registry& reg,
                                      const std::string& labels) const {
   for (const auto& net : nets_) net->publish_metrics(reg, labels);
 
-  obs::Registry::Shard& shard = reg.create_shard();
+  // Exactly-once per (registry, labels) — same idempotent-overwrite scheme
+  // as Network::publish_metrics, so a snapshot between two publishes (e.g.
+  // racing a barrier rendezvous) never sees this plane's gauges twice.
+  obs::Registry::Shard* cached = nullptr;
+  for (const PublishSlot& slot : pub_shards_) {
+    if (slot.reg == &reg && slot.labels == labels) {
+      cached = slot.shard;
+      break;
+    }
+  }
+  if (cached == nullptr) {
+    cached = &reg.create_shard();
+    pub_shards_.push_back(PublishSlot{&reg, labels, cached});
+  }
+  obs::Registry::Shard& shard = *cached;
   shard.set(reg.gauge("dp.num_shards", labels),
             static_cast<double>(num_shards()));
   if (window_ < kInf) {
@@ -473,6 +554,28 @@ void ShardedNetwork::publish_metrics(obs::Registry& reg,
     shard.set(reg.gauge("dp.ring_occupancy_peak", l),
               static_cast<double>(rs.peak));
   }
+
+  // Shard-runtime instrumentation: per-worker epoch counts plus the merged
+  // epoch-window (sim-time) and barrier-wait (wall-clock) histograms.
+  // set_histogram replaces rather than accumulates, keeping re-publish
+  // idempotent; the per-worker accumulators are summed into one scratch
+  // histogram per family first.
+  Histogram window_hist(epoch_window_bounds());
+  Histogram wait_hist(barrier_wait_bounds());
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    const WorkerStats& ws = worker_stats_[s];
+    std::string l = "shard=" + std::to_string(s);
+    if (!labels.empty()) l = labels + "," + l;
+    shard.set(reg.counter("dp.epochs", l), static_cast<double>(ws.epochs));
+    window_hist.merge(ws.epoch_window);
+    wait_hist.merge(ws.barrier_wait);
+  }
+  shard.set_histogram(
+      reg.histogram("dp.epoch_window_seconds", epoch_window_bounds(), labels),
+      window_hist);
+  shard.set_histogram(
+      reg.histogram("dp.barrier_wait_seconds", barrier_wait_bounds(), labels),
+      wait_hist);
 }
 
 std::vector<Router> ShardedNetwork::gather_routers() const {

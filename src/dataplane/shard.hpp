@@ -40,12 +40,9 @@
 #include <vector>
 
 #include "common/spsc_ring.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dataplane/network.hpp"
-
-namespace mifo::obs {
-class Registry;
-}
 
 namespace mifo::dp {
 
@@ -171,10 +168,35 @@ class ShardedNetwork {
   [[nodiscard]] std::uint64_t queued_pkts() const;
   [[nodiscard]] std::vector<RingStats> ring_stats() const;
 
+  // --- flight recorder (docs/OBSERVABILITY.md) --------------------------------
+  /// Creates one Tracer per worker (shard context pre-stamped) and attaches
+  /// it to that worker's replica. Call before the first run; parked only.
+  void enable_tracing(std::size_t capacity_per_shard = 4096);
+  /// Per-flow filter applied to every worker tracer (parked only).
+  void set_trace_flow(std::uint64_t flow);
+  /// Worker tracer for shard `s` (nullptr until enable_tracing).
+  [[nodiscard]] const obs::Tracer* tracer(std::uint32_t s) const;
+  /// Snapshot-time causal merge of every worker tracer into one
+  /// deterministically ordered timeline (obs::trace_order; parked only).
+  [[nodiscard]] obs::Timeline timeline() const;
+
+  /// Per-worker shard-runtime instrumentation, read while parked.
+  struct WorkerStats {
+    std::uint64_t epochs = 0;        ///< compute windows executed
+    Histogram epoch_window;          ///< sim-time span per window (seconds)
+    Histogram barrier_wait;          ///< wall-clock wait per rendezvous (s)
+    WorkerStats();
+  };
+  [[nodiscard]] const std::vector<WorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
   /// Publishes every shard replica's dp.* metrics (one registry shard each;
   /// they merge at snapshot) plus ring occupancy gauges
   /// (dp.ring_occupancy_peak / dp.ring_pushed / dp.ring_overflow per
-  /// directed shard pair) and dp.shard_window.
+  /// directed shard pair), dp.shard_window, per-worker epoch counts and the
+  /// epoch-window / barrier-wait histograms. Re-publishing with the same
+  /// (registry, labels) overwrites in place — exactly-once per snapshot.
   void publish_metrics(obs::Registry& reg, const std::string& labels) const;
 
   // --- verification hooks ------------------------------------------------------
@@ -213,6 +235,17 @@ class ShardedNetwork {
 
   ShardConfig cfg_;
   std::vector<std::unique_ptr<Network>> nets_;
+  /// Flight recorder: one per worker, attached to that worker's replica.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+  /// One per worker; written only by its worker thread, read parked.
+  std::vector<WorkerStats> worker_stats_;
+  /// publish_metrics() exactly-once state (mirrors Network::PublishSlot).
+  struct PublishSlot {
+    obs::Registry* reg;
+    std::string labels;
+    obs::Registry::Shard* shard;
+  };
+  mutable std::vector<PublishSlot> pub_shards_;
   /// Node id -> owning shard. Address-stable (Network keeps pointers).
   std::vector<std::uint32_t> router_shard_;
   std::vector<std::uint32_t> host_shard_;

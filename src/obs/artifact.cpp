@@ -1,8 +1,11 @@
 #include "obs/artifact.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/contracts.hpp"
 #include "common/env.hpp"
@@ -68,6 +71,39 @@ Json& Json::push(Json v) {
   MIFO_EXPECTS(kind_ == Kind::Array);
   items_.push_back(std::move(v));
   return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<Json>& Json::items() const {
+  MIFO_EXPECTS(kind_ == Kind::Array);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  MIFO_EXPECTS(kind_ == Kind::Object);
+  return members_;
+}
+
+double Json::number() const {
+  MIFO_EXPECTS(kind_ == Kind::Num);
+  return num_;
+}
+
+const std::string& Json::text() const {
+  MIFO_EXPECTS(kind_ == Kind::Str);
+  return str_;
+}
+
+bool Json::truth() const {
+  MIFO_EXPECTS(kind_ == Kind::Bool);
+  return bool_;
 }
 
 namespace {
@@ -167,6 +203,178 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+namespace {
+/// Recursive-descent parser for the subset dump() emits (strict JSON minus
+/// exotic escapes; \u decodes BMP code points to UTF-8).
+struct JsonParser {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  void skip_ws() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::memcmp(p, s, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p >= end) return false;
+      const char esc = *p++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (end - p < 4) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return consume('"');
+  }
+
+  Json parse_value();  // sets ok=false on malformed input
+};
+
+Json JsonParser::parse_value() {
+  skip_ws();
+  if (p >= end) {
+    ok = false;
+    return {};
+  }
+  switch (*p) {
+    case '{': {
+      ++p;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      do {
+        std::string key;
+        if (!parse_string(key) || !consume(':')) {
+          ok = false;
+          return {};
+        }
+        Json v = parse_value();
+        if (!ok) return {};
+        obj.set(key, std::move(v));
+      } while (consume(','));
+      if (!consume('}')) ok = false;
+      return obj;
+    }
+    case '[': {
+      ++p;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      do {
+        Json v = parse_value();
+        if (!ok) return {};
+        arr.push(std::move(v));
+      } while (consume(','));
+      if (!consume(']')) ok = false;
+      return arr;
+    }
+    case '"': {
+      std::string s;
+      if (!parse_string(s)) {
+        ok = false;
+        return {};
+      }
+      return Json::str(std::move(s));
+    }
+    case 't':
+      if (literal("true")) return Json::boolean(true);
+      ok = false;
+      return {};
+    case 'f':
+      if (literal("false")) return Json::boolean(false);
+      ok = false;
+      return {};
+    case 'n':
+      if (literal("null")) return {};
+      ok = false;
+      return {};
+    default: {
+      char* num_end = nullptr;
+      const double v = std::strtod(p, &num_end);
+      if (num_end == p || num_end > end) {
+        ok = false;
+        return {};
+      }
+      // Integer-looking input round-trips without a decimal point.
+      const bool integral =
+          std::find_if(p, static_cast<const char*>(num_end), [](char c) {
+            return c == '.' || c == 'e' || c == 'E';
+          }) == num_end;
+      p = num_end;
+      return integral ? Json::num(static_cast<std::int64_t>(v))
+                      : Json::num(v);
+    }
+  }
+}
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text) {
+  JsonParser parser{text.data(), text.data() + text.size()};
+  Json v = parser.parse_value();
+  parser.skip_ws();
+  if (!parser.ok || parser.p != parser.end) return std::nullopt;
+  return v;
+}
+
 std::string artifact_dir() {
   const std::string dir = env_string("MIFO_ARTIFACT_DIR", ".");
   return dir == "-" ? std::string() : dir;
@@ -230,6 +438,11 @@ Json to_json(const Snapshot& snap) {
     m.set("lo", Json::num(h.hist.low()));
     m.set("hi", Json::num(h.hist.high()));
     m.set("total", Json::num(h.hist.total()));
+    if (!h.hist.edges().empty()) {
+      Json bounds = Json::array();
+      for (const double e : h.hist.edges()) bounds.push(Json::num(e));
+      m.set("bounds", std::move(bounds));
+    }
     Json bins = Json::array();
     for (std::size_t i = 0; i < h.hist.bins(); ++i) {
       bins.push(Json::num(h.hist.bin_count(i)));
@@ -268,6 +481,32 @@ Json to_json(const LinkSeries& series) {
     arr.push(std::move(m));
   }
   return arr;
+}
+
+Json to_json(const Timeline& tl) {
+  Json root = Json::object();
+  root.set("overwritten", Json::num(tl.overwritten));
+  Json evs = Json::array();
+  for (const TraceEvent& e : tl.events) {
+    Json m = Json::object();
+    m.set("epoch", Json::num(e.epoch));
+    m.set("t", Json::num(e.t));
+    m.set("kind", Json::str(to_string(e.kind)));
+    m.set("router", Json::num(static_cast<std::uint64_t>(e.router)));
+    if (e.flow != kNoTraceFlow) m.set("flow", Json::num(e.flow));
+    m.set("shard", Json::num(static_cast<std::uint64_t>(e.shard)));
+    m.set("seq", Json::num(e.seq));
+    m.set("port", Json::num(static_cast<std::uint64_t>(e.port)));
+    m.set("dst", Json::num(static_cast<std::uint64_t>(e.dst)));
+    m.set("tag", Json::boolean(e.tag));
+    m.set("origin_shard",
+          Json::num(static_cast<std::uint64_t>(e.origin_shard)));
+    m.set("inject_epoch", Json::num(e.inject_epoch));
+    if (e.value != 0.0) m.set("value", Json::num(e.value));
+    evs.push(std::move(m));
+  }
+  root.set("events", std::move(evs));
+  return root;
 }
 
 Json drops_json(

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace mifo::obs {
 
@@ -29,10 +31,37 @@ class Json {
   static Json num(std::int64_t v);
   static Json boolean(bool b);
 
+  /// Parse a JSON document (the inverse of dump(); enough for reading our
+  /// own artifacts back — tools/mifo-trace). std::nullopt on malformed
+  /// input or trailing garbage.
+  static std::optional<Json> parse(const std::string& text);
+
   /// Object member access (creates the member; asserts object kind).
   Json& set(const std::string& key, Json v);
   /// Array append (asserts array kind).
   Json& push(Json v);
+
+  // --- read-side accessors (tools reading artifacts back) -------------------
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::Str; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Num; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Array elements (asserts array kind).
+  [[nodiscard]] const std::vector<Json>& items() const;
+  /// Object members in insertion order (asserts object kind).
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  [[nodiscard]] double number() const;        ///< asserts number kind
+  [[nodiscard]] const std::string& text() const;  ///< asserts string kind
+  [[nodiscard]] bool truth() const;           ///< asserts bool kind
+  /// number() with a fallback for absent members: j.find("x") pattern.
+  [[nodiscard]] double number_or(double fallback) const {
+    return kind_ == Kind::Num ? num_ : fallback;
+  }
 
   [[nodiscard]] std::string dump(int indent = 0) const;
 
@@ -66,6 +95,10 @@ std::string write_csv(const std::string& name,
 [[nodiscard]] Json to_json(const Snapshot& snap);
 [[nodiscard]] Json to_json(const UtilSeries& series);
 [[nodiscard]] Json to_json(const LinkSeries& series);
+/// Flight-recorder timeline: {"overwritten": N, "events": [...]} with one
+/// object per event carrying the full trace context (deterministic — only
+/// sim-time values, byte-identical across same-seed runs).
+[[nodiscard]] Json to_json(const Timeline& tl);
 
 /// Drop-reason breakdown ({reason -> count}) as a JSON object.
 [[nodiscard]] Json drops_json(

@@ -1,0 +1,153 @@
+#include "obs/exposition.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+
+#include "common/env.hpp"
+
+namespace mifo::obs {
+
+namespace {
+
+std::atomic<bool> g_dump_requested{false};
+
+void on_dump_signal(int /*signo*/) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted families
+/// (dp.ring_pushed) map '.' to '_' and anything else unexpected to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// "k=v,k=v" -> {k="v",k="v"}; empty stays empty.
+std::string prom_labels(const std::string& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= labels.size()) {
+    std::size_t comma = labels.find(',', start);
+    if (comma == std::string::npos) comma = labels.size();
+    const std::string pair = labels.substr(start, comma - start);
+    const std::size_t eq = pair.find('=');
+    if (!pair.empty() && eq != std::string::npos) {
+      if (!first) out += ',';
+      first = false;
+      out += prom_name(pair.substr(0, eq));
+      out += "=\"";
+      for (const char c : pair.substr(eq + 1)) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+    }
+    start = comma + 1;
+  }
+  out += '}';
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string text_exposition(const Snapshot& snap) {
+  std::string out;
+  std::string last_typed;  // one # TYPE line per family
+  for (const SnapshotEntry& e : snap.scalars) {
+    const std::string name = prom_name(e.name);
+    if (name != last_typed) {
+      out += "# TYPE " + name + ' ' + to_string(e.kind) + '\n';
+      last_typed = name;
+    }
+    out += name + prom_labels(e.labels) + ' ';
+    append_number(out, e.value);
+    out += '\n';
+  }
+  for (const SnapshotHistogram& h : snap.histograms) {
+    const std::string name = prom_name(h.name);
+    if (name != last_typed) {
+      out += "# TYPE " + name + " histogram\n";
+      last_typed = name;
+    }
+    // Cumulative le-buckets; the metric's own labels join each line.
+    const std::string labels = h.labels;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.hist.bins(); ++i) {
+      cum += h.hist.bin_count(i);
+      std::string l = labels;
+      char le[40];
+      std::snprintf(le, sizeof(le), "%.9g", h.hist.bin_high(i));
+      l += (l.empty() ? "" : ",") + std::string("le=") + le;
+      out += name + "_bucket" + prom_labels(l) + ' ';
+      append_number(out, static_cast<double>(cum));
+      out += '\n';
+    }
+    std::string inf = labels;
+    inf += (inf.empty() ? "" : ",") + std::string("le=+Inf");
+    out += name + "_bucket" + prom_labels(inf) + ' ';
+    append_number(out, static_cast<double>(h.hist.total()));
+    out += '\n';
+    out += name + "_count" + prom_labels(labels) + ' ';
+    append_number(out, static_cast<double>(h.hist.total()));
+    out += '\n';
+  }
+  return out;
+}
+
+void install_dump_signal() {
+#ifdef SIGUSR1
+  struct sigaction sa = {};
+  sa.sa_handler = on_dump_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &sa, nullptr);
+#endif
+}
+
+bool dump_requested() {
+  return g_dump_requested.load(std::memory_order_relaxed);
+}
+
+void request_dump() { g_dump_requested.store(true, std::memory_order_relaxed); }
+
+DumpService::DumpService(const Registry& reg)
+    : reg_(&reg),
+      interval_(env_double("MIFO_OBS_DUMP", 0.0)),
+      last_(std::chrono::steady_clock::now()) {}
+
+bool DumpService::service() {
+  bool due = g_dump_requested.exchange(false, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (!due && interval_ > 0.0) {
+    due = std::chrono::duration<double>(now - last_).count() >= interval_;
+  }
+  if (!due) return false;
+  last_ = now;
+  const std::string text = text_exposition(reg_->snapshot());
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+  return true;
+}
+
+}  // namespace mifo::obs

@@ -1,0 +1,55 @@
+// Live introspection plane (docs/OBSERVABILITY.md).
+//
+// text_exposition() renders a Registry snapshot in the Prometheus text
+// format (metric names with '.' mapped to '_', "k=v,k=v" label strings to
+// {k="v",...}, histograms as cumulative _bucket/_count series), so a dump
+// can be scraped, diffed or just read.
+//
+// DumpService is the "live" half: long-running drivers (tools/mifo-chaos,
+// chaos::Engine runs) call service() at their parked points; a dump is
+// emitted to stderr when SIGUSR1 arrived since the last call (see
+// install_dump_signal) or when the MIFO_OBS_DUMP interval (seconds,
+// wall-clock) elapsed. Everything stays on the caller's thread — the signal
+// handler only sets a flag — so no locking against the packet plane.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace mifo::obs {
+
+/// Prometheus-style text rendering of a snapshot.
+[[nodiscard]] std::string text_exposition(const Snapshot& snap);
+
+/// Arms SIGUSR1 to request a dump at the next service() call. Safe to call
+/// more than once; no-op on platforms without sigaction.
+void install_dump_signal();
+
+/// True when a dump has been requested (by signal or request_dump) and not
+/// yet serviced. Consuming is service()'s job.
+[[nodiscard]] bool dump_requested();
+
+/// Programmatic equivalent of SIGUSR1 (tests, embedding drivers).
+void request_dump();
+
+class DumpService {
+ public:
+  /// `reg` must outlive the service. Reads MIFO_OBS_DUMP once: a positive
+  /// value enables periodic dumps every that-many wall-clock seconds; unset
+  /// or 0 means signal-only.
+  explicit DumpService(const Registry& reg);
+
+  /// Call at parked points. Emits the registry's text exposition to stderr
+  /// and returns true when a dump was due (signal or interval), false
+  /// otherwise. Never blocks.
+  bool service();
+
+ private:
+  const Registry* reg_;
+  double interval_ = 0.0;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace mifo::obs

@@ -27,6 +27,23 @@ void Registry::Shard::observe(MetricId id, double sample) {
   hists_[static_cast<std::size_t>(h)].add(sample);
 }
 
+void Registry::Shard::merge_histogram(MetricId id, const Histogram& h) {
+  if (id >= hist_index_.size()) grow_to_fit();
+  const std::int32_t idx = hist_index_[id];
+  MIFO_EXPECTS(idx >= 0);  // merge_histogram() on a non-histogram metric
+  hists_[static_cast<std::size_t>(idx)].merge(h);
+}
+
+void Registry::Shard::set_histogram(MetricId id, const Histogram& h) {
+  if (id >= hist_index_.size()) grow_to_fit();
+  const std::int32_t idx = hist_index_[id];
+  MIFO_EXPECTS(idx >= 0);  // set_histogram() on a non-histogram metric
+  Histogram& slot = hists_[static_cast<std::size_t>(idx)];
+  MIFO_EXPECTS(slot.bins() == h.bins() && slot.low() == h.low() &&
+               slot.high() == h.high() && slot.edges() == h.edges());
+  slot = h;
+}
+
 void Registry::Shard::grow_to_fit() {
   std::lock_guard lock(owner_->mutex_);
   const std::size_t n = owner_->defs_.size();
@@ -37,13 +54,13 @@ void Registry::Shard::grow_to_fit() {
     const MetricDef& d = owner_->defs_[i];
     if (d.kind != MetricKind::Histogram) continue;
     hist_index_[i] = static_cast<std::int32_t>(hists_.size());
-    hists_.emplace_back(d.hist_lo, d.hist_hi, d.hist_bins);
+    hists_.push_back(d.make_histogram());
   }
 }
 
 MetricId Registry::intern(std::string name, std::string labels,
                           MetricKind kind, double lo, double hi,
-                          std::size_t bins) {
+                          std::size_t bins, std::vector<double> bounds) {
   std::lock_guard lock(mutex_);
   for (std::size_t i = 0; i < defs_.size(); ++i) {
     if (defs_[i].name == name && defs_[i].labels == labels) {
@@ -60,6 +77,7 @@ MetricId Registry::intern(std::string name, std::string labels,
     d.hist_lo = lo;
     d.hist_hi = hi;
     d.hist_bins = bins;
+    d.hist_bounds = std::move(bounds);
   }
   defs_.push_back(std::move(d));
   return static_cast<MetricId>(defs_.size() - 1);
@@ -82,6 +100,16 @@ MetricId Registry::histogram(std::string name, double lo, double hi,
                 hi, bins);
 }
 
+MetricId Registry::histogram(std::string name, std::vector<double> bounds,
+                             std::string labels) {
+  MIFO_EXPECTS(bounds.size() >= 2);
+  const double lo = bounds.front();
+  const double hi = bounds.back();
+  const std::size_t bins = bounds.size() - 1;
+  return intern(std::move(name), std::move(labels), MetricKind::Histogram, lo,
+                hi, bins, std::move(bounds));
+}
+
 Registry::Shard& Registry::create_shard() {
   std::lock_guard lock(mutex_);
   shards_.push_back(Shard(*this));
@@ -102,7 +130,7 @@ Snapshot Registry::snapshot() const {
       SnapshotHistogram sh;
       sh.name = d.name;
       sh.labels = d.labels;
-      sh.hist = Histogram(d.hist_lo, d.hist_hi, d.hist_bins);
+      sh.hist = d.make_histogram();
       for (const Shard& s : shards_) {
         if (i < s.hist_index_.size() && s.hist_index_[i] >= 0) {
           sh.hist.merge(s.hists_[static_cast<std::size_t>(s.hist_index_[i])]);

@@ -79,6 +79,14 @@ class Registry {
     void add(MetricId id, double delta = 1.0) { slot(id) += delta; }
     void set(MetricId id, double value) { slot(id) = value; }
     void observe(MetricId id, double sample);
+    /// Fold an externally accumulated histogram into this shard's slot (e.g.
+    /// a worker-local barrier-wait histogram published at snapshot time).
+    /// The binning must match the registered metric's exactly.
+    void merge_histogram(MetricId id, const Histogram& h);
+    /// Replace the slot's histogram with `h` (the histogram analogue of
+    /// set(): idempotent, so re-publishing a still-growing worker-local
+    /// histogram never double-counts). Binning must match.
+    void set_histogram(MetricId id, const Histogram& h);
 
    private:
     friend class Registry;
@@ -102,6 +110,11 @@ class Registry {
   MetricId gauge(std::string name, std::string labels = {});
   MetricId histogram(std::string name, double lo, double hi, std::size_t bins,
                      std::string labels = {});
+  /// Histogram with explicit (ascending) bucket bounds — for skewed
+  /// populations like chaos recovery latencies (10 ms–1 s) where uniform
+  /// bins waste resolution. Bin i covers [bounds[i], bounds[i+1]).
+  MetricId histogram(std::string name, std::vector<double> bounds,
+                     std::string labels = {});
 
   /// Create a new shard; the reference stays valid for the registry's
   /// lifetime. Thread-safe (producers can register themselves lazily).
@@ -122,10 +135,17 @@ class Registry {
     std::uint32_t hist_ordinal = 0;  ///< valid for Histogram kind
     double hist_lo = 0.0, hist_hi = 1.0;
     std::size_t hist_bins = 1;
+    std::vector<double> hist_bounds;  ///< non-empty: explicit-bounds binning
+
+    [[nodiscard]] Histogram make_histogram() const {
+      return hist_bounds.empty() ? Histogram(hist_lo, hist_hi, hist_bins)
+                                 : Histogram(hist_bounds);
+    }
   };
 
   MetricId intern(std::string name, std::string labels, MetricKind kind,
-                  double lo, double hi, std::size_t bins);
+                  double lo, double hi, std::size_t bins,
+                  std::vector<double> bounds = {});
 
   mutable std::mutex mutex_;
   std::vector<MetricDef> defs_;

@@ -248,7 +248,8 @@ ScaledResult run_scaled(const ScaledParams& p) {
     res.delivered_pkts = net.delivered_pkts();
     res.drops = net.drop_breakdown();
     res.ring_overflow = res.drops.back().second;
-    for (const dp::RingStats& rs : net.ring_stats()) {
+    res.ring_pairs = net.ring_stats();
+    for (const dp::RingStats& rs : res.ring_pairs) {
       res.ring_pushed += rs.pushed;
       res.ring_peak = std::max(res.ring_peak, rs.peak);
     }

@@ -111,6 +111,9 @@ struct ScaledResult {
   std::uint64_t ring_overflow = 0;  ///< always 0 for the serial engine
   std::uint64_t ring_pushed = 0;    ///< total cross-shard handoffs
   std::size_t ring_peak = 0;        ///< high-water occupancy over all rings
+  /// Per-directed-pair ring stats (empty for the serial engine): which
+  /// shard pairs carry the handoff traffic and where overflow attributes.
+  std::vector<dp::RingStats> ring_pairs;
   std::vector<std::pair<std::string, std::uint64_t>> drops;
   SimTime last_completion = 0.0;  ///< sim time of the latest flow finish
   double wall_build_seconds = 0.0;

@@ -9,11 +9,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/artifact.hpp"
+#include "obs/exposition.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -280,6 +282,290 @@ TEST_F(ArtifactTest, SnapshotToJsonCarriesLabelsAndKinds) {
   const std::string s = to_json(reg.snapshot()).dump();
   EXPECT_NE(s.find("\"labels\":\"k=v\""), std::string::npos) << s;
   EXPECT_NE(s.find("\"kind\":\"counter\""), std::string::npos) << s;
+}
+
+// --- explicit-bounds histograms ---------------------------------------------
+
+TEST(Histogram, ExplicitEdgesBinValues) {
+  Histogram h(std::vector<double>{0.0, 0.01, 0.1, 1.0});
+  h.add(0.005);  // bin 0
+  h.add(0.05);   // bin 1
+  h.add(0.5);    // bin 2
+  h.add(5.0);    // clamps into the last bin
+  h.add(-1.0);   // clamps into the first bin
+  EXPECT_EQ(h.bins(), 3u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 0.01);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 0.1);
+}
+
+TEST(Histogram, ExplicitEdgesBoundaryGoesToUpperBin) {
+  // upper_bound semantics: a value exactly on an interior edge lands in the
+  // bin whose low edge it is.
+  Histogram h(std::vector<double>{0.0, 1.0, 2.0});
+  h.add(1.0);
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, ExplicitEdgesMerge) {
+  Histogram a(std::vector<double>{0.0, 0.5, 1.0});
+  Histogram b(std::vector<double>{0.0, 0.5, 1.0});
+  a.add(0.25);
+  b.add(0.75);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.bin_count(0), 1u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+}
+
+TEST(Registry, ExplicitBoundsHistogramObserveAndSnapshot) {
+  Registry reg;
+  const MetricId h =
+      reg.histogram("test.rec", {0.0, 0.01, 0.1, 1.0}, "k=v");
+  Registry::Shard& s = reg.create_shard();
+  s.observe(h, 0.05);
+  s.observe(h, 0.5);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const Histogram& hist = snap.histograms[0].hist;
+  EXPECT_EQ(hist.bins(), 3u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(2), 1u);
+  // The snapshot JSON carries the explicit bounds for schema consumers.
+  const std::string js = to_json(snap).dump();
+  EXPECT_NE(js.find("\"bounds\""), std::string::npos) << js;
+}
+
+TEST(Registry, SetHistogramReplacesInsteadOfAccumulating) {
+  // The exactly-once publish contract: re-publishing a snapshot-style
+  // histogram must not double its counts (satellite fix for snapshot racing
+  // a barrier rendezvous republish).
+  Registry reg;
+  const MetricId id = reg.histogram("test.win", {0.0, 1.0, 2.0});
+  Registry::Shard& s = reg.create_shard();
+  Histogram h(std::vector<double>{0.0, 1.0, 2.0});
+  h.add(0.5);
+  h.add(1.5);
+  s.set_histogram(id, h);
+  s.set_histogram(id, h);  // idempotent re-publish
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.total(), 2u);
+}
+
+TEST(Registry, MergeHistogramAccumulatesAcrossCalls) {
+  Registry reg;
+  const MetricId id = reg.histogram("test.acc", {0.0, 1.0, 2.0});
+  Registry::Shard& s = reg.create_shard();
+  Histogram h(std::vector<double>{0.0, 1.0, 2.0});
+  h.add(0.5);
+  s.merge_histogram(id, h);
+  s.merge_histogram(id, h);
+  EXPECT_EQ(reg.snapshot().histograms[0].hist.total(), 2u);
+}
+
+// --- flight-recorder trace context ------------------------------------------
+
+TEST(Tracer, StampsShardEpochAndSeq) {
+  Tracer tr(8);
+  tr.set_shard(3);
+  tr.set_epoch(7);
+  tr.record(ev_for_flow(1));
+  tr.set_epoch(8);
+  tr.record(ev_for_flow(2));
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].shard, 3u);
+  EXPECT_EQ(evs[0].epoch, 7u);
+  EXPECT_EQ(evs[0].seq, 0u);
+  EXPECT_EQ(evs[1].epoch, 8u);
+  EXPECT_EQ(evs[1].seq, 1u);
+}
+
+TEST(Tracer, SeqSurvivesRingWraparound) {
+  Tracer tr(4);
+  for (std::uint64_t i = 0; i < 10; ++i) tr.record(ev_for_flow(i));
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // seq is the per-tracer recording ordinal, not a ring slot index.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(evs[i].seq, 6 + i);
+}
+
+TEST(Tracer, SpareAdvertSuppression) {
+  Tracer tr(8);
+  tr.set_keep_spare_adverts(false);
+  TraceEvent sa;
+  sa.kind = TraceKind::SpareAdvert;
+  tr.record(sa);
+  tr.record(ev_for_flow(1));
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].kind, TraceKind::Forward);
+}
+
+TEST(TimelineMerge, EpochMajorOrderAcrossTracers) {
+  // Tracer A records epochs {0, 2}, tracer B epoch 1 with an *earlier*
+  // sim time: the merge must still be epoch-major (the conservative-window
+  // guarantee makes epoch the causal unit, not raw t).
+  Tracer a(8);
+  Tracer b(8);
+  a.set_shard(0);
+  b.set_shard(1);
+  TraceEvent ev;
+  ev.kind = TraceKind::Forward;
+  ev.flow = 1;
+  ev.t = 1.0;
+  a.set_epoch(0);
+  a.record(ev);
+  ev.t = 0.5;
+  b.set_epoch(1);
+  b.record(ev);
+  ev.t = 2.0;
+  a.set_epoch(2);
+  a.record(ev);
+  const Timeline tl = merge_timelines({&a, &b});
+  ASSERT_EQ(tl.events.size(), 3u);
+  EXPECT_TRUE(tl.epoch_monotone());
+  EXPECT_EQ(tl.events[0].epoch, 0u);
+  EXPECT_EQ(tl.events[1].epoch, 1u);
+  EXPECT_EQ(tl.events[1].shard, 1u);
+  EXPECT_EQ(tl.events[2].epoch, 2u);
+}
+
+TEST(TimelineMerge, SameEpochTieBreaksOnTimeThenRouter) {
+  Tracer a(8);
+  Tracer b(8);
+  b.set_shard(1);
+  TraceEvent ev;
+  ev.kind = TraceKind::Forward;
+  ev.flow = 1;
+  ev.t = 2.0;
+  ev.router = 9;
+  a.record(ev);
+  ev.t = 2.0;
+  ev.router = 4;
+  b.record(ev);
+  ev.t = 1.0;
+  ev.router = 30;
+  b.record(ev);
+  const Timeline tl = merge_timelines({&a, &b});
+  ASSERT_EQ(tl.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(tl.events[0].t, 1.0);
+  EXPECT_EQ(tl.events[1].router, 4u);  // same t: lower router first
+  EXPECT_EQ(tl.events[2].router, 9u);
+}
+
+TEST(TimelineMerge, ConcurrentAppendUnderParallelForStaysOrdered) {
+  // Satellite coverage for the TSan leg: one tracer per worker (the
+  // single-writer contract), concurrent appends with ring wraparound, then
+  // a snapshot merge. The merged timeline must be deterministically ordered
+  // and account for every overwrite.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kPerWorker = 1000;
+  constexpr std::size_t kCapacity = 256;  // forces wraparound
+  std::vector<std::unique_ptr<Tracer>> tracers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    tracers.push_back(std::make_unique<Tracer>(kCapacity));
+    tracers.back()->set_shard(static_cast<std::uint32_t>(w));
+  }
+  ThreadPool pool(kWorkers);
+  parallel_for(pool, kWorkers, [&](std::size_t w) {
+    for (std::size_t i = 0; i < kPerWorker; ++i) {
+      TraceEvent ev;
+      ev.kind = TraceKind::Forward;
+      ev.flow = w;
+      ev.t = static_cast<SimTime>(i);
+      ev.router = static_cast<std::uint32_t>(w);
+      tracers[w]->set_epoch(i / 100);
+      tracers[w]->record(ev);
+    }
+  });
+  std::vector<const Tracer*> ptrs;
+  for (const auto& tr : tracers) ptrs.push_back(tr.get());
+  const Timeline tl = merge_timelines(ptrs);
+  EXPECT_EQ(tl.events.size(), kWorkers * kCapacity);
+  EXPECT_EQ(tl.overwritten, kWorkers * (kPerWorker - kCapacity));
+  EXPECT_TRUE(tl.epoch_monotone());
+  for (std::size_t i = 1; i < tl.events.size(); ++i) {
+    EXPECT_FALSE(trace_order(tl.events[i], tl.events[i - 1]))
+        << "order violated at " << i;
+  }
+}
+
+// --- Json parser -------------------------------------------------------------
+
+TEST(Json, ParseRoundTripsDump) {
+  Json root = Json::object();
+  root.set("a", Json::num(std::uint64_t{42}));
+  root.set("b", Json::str("x\"\\y"));
+  root.set("c", Json::boolean(false));
+  Json arr = Json::array();
+  arr.push(Json::num(1.5));
+  arr.push(Json());
+  root.set("d", std::move(arr));
+  const auto parsed = Json::parse(root.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), root.dump());
+  ASSERT_NE(parsed->find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->find("a")->number(), 42.0);
+  EXPECT_EQ(parsed->find("b")->text(), "x\"\\y");
+  EXPECT_FALSE(parsed->find("c")->truth());
+  EXPECT_TRUE(parsed->find("d")->items()[1].is_null());
+}
+
+TEST(Json, ParseRejectsMalformedAndTrailingGarbage) {
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{} trailing").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const auto parsed = Json::parse(R"(["Aé"])");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->items()[0].text(), "A\xc3\xa9");
+}
+
+// --- text exposition ---------------------------------------------------------
+
+TEST(Exposition, RendersCounterWithLabels) {
+  Registry reg;
+  const MetricId c = reg.counter("dp.drops", "reason=valley");
+  reg.create_shard().add(c, 3.0);
+  const std::string text = text_exposition(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE dp_drops counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("dp_drops{reason=\"valley\"} 3"), std::string::npos)
+      << text;
+}
+
+TEST(Exposition, HistogramBucketsAreCumulative) {
+  Registry reg;
+  const MetricId h = reg.histogram("test.lat", {0.0, 1.0, 2.0});
+  Registry::Shard& s = reg.create_shard();
+  s.observe(h, 0.5);
+  s.observe(h, 1.5);
+  const std::string text = text_exposition(reg.snapshot());
+  EXPECT_NE(text.find("test_lat_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_lat_bucket{le=\"2\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_lat_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_lat_count 2"), std::string::npos) << text;
+}
+
+TEST(Exposition, DumpServiceConsumesRequests) {
+  Registry reg;
+  reg.create_shard().add(reg.counter("x"), 1.0);
+  DumpService ds(reg);
+  EXPECT_FALSE(ds.service());  // nothing requested
+  request_dump();
+  EXPECT_TRUE(dump_requested());
+  EXPECT_TRUE(ds.service());   // consumed...
+  EXPECT_FALSE(ds.service());  // ...exactly once
 }
 
 // --- log spec parsing (MIFO_LOG) --------------------------------------------

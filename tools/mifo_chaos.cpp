@@ -17,6 +17,7 @@
 // `chaos` section) land in MIFO_ARTIFACT_DIR; the run is bit-reproducible
 // for a fixed (topology, seed, plan).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +28,7 @@
 #include "chaos/plan.hpp"
 #include "common/rng.hpp"
 #include "obs/artifact.hpp"
+#include "obs/exposition.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "testbed/emulation.hpp"
@@ -118,6 +120,60 @@ bool parse_args(int argc, char** argv, Options& opt) {
          opt.rate > 0.0 && opt.mttr > 0.0;
 }
 
+/// Inter-AS links ranked by bytes carried (descending, deterministic
+/// tie-break on router:port), capped at `max_links`. Every value is driven
+/// by the simulation clock, so the section is byte-reproducible.
+obs::Json links_json(const dp::Network& net, std::size_t max_links) {
+  struct LinkRow {
+    std::uint32_t router;
+    std::uint32_t port;
+    std::uint32_t peer_router;
+    std::uint64_t bytes;
+    std::uint64_t pkts;
+    std::uint64_t drops_overflow;
+    std::uint64_t drops_down;
+    double queue_ratio;
+  };
+  std::vector<LinkRow> rows;
+  for (std::size_t r = 0; r < net.num_routers(); ++r) {
+    const dp::Router& router =
+        net.router(RouterId(static_cast<std::uint32_t>(r)));
+    for (std::size_t pi = 0; pi < router.num_ports(); ++pi) {
+      const dp::Port& port =
+          router.port(PortId(static_cast<std::uint32_t>(pi)));
+      if (port.kind != dp::PortKind::Ebgp || port.bytes_sent_total == 0) {
+        continue;
+      }
+      rows.push_back(LinkRow{static_cast<std::uint32_t>(r),
+                             static_cast<std::uint32_t>(pi), port.peer.id,
+                             port.bytes_sent_total, port.pkts_sent_total,
+                             port.drops_overflow, port.drops_down,
+                             port.queue_ratio()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const LinkRow& a, const LinkRow& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    if (a.router != b.router) return a.router < b.router;
+    return a.port < b.port;
+  });
+  if (rows.size() > max_links) rows.resize(max_links);
+  obs::Json arr = obs::Json::array();
+  for (const LinkRow& row : rows) {
+    obs::Json j = obs::Json::object();
+    j.set("router", obs::Json::num(static_cast<std::uint64_t>(row.router)));
+    j.set("port", obs::Json::num(static_cast<std::uint64_t>(row.port)));
+    j.set("peer_router",
+          obs::Json::num(static_cast<std::uint64_t>(row.peer_router)));
+    j.set("bytes_sent", obs::Json::num(row.bytes));
+    j.set("pkts_sent", obs::Json::num(row.pkts));
+    j.set("drops_overflow", obs::Json::num(row.drops_overflow));
+    j.set("drops_down", obs::Json::num(row.drops_down));
+    j.set("queue_ratio", obs::Json::num(row.queue_ratio));
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +182,9 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  // Live introspection: SIGUSR1 (or MIFO_OBS_DUMP=<secs>) dumps the metric
+  // registry in Prometheus text format to stderr at the next snapshot.
+  obs::install_dump_signal();
 
   topo::AsGraph g;
   if (!opt.topo_file.empty()) {
@@ -164,6 +223,9 @@ int main(int argc, char** argv) {
   em.enable_mifo(all_ases, dp::RouterConfig{}, 0.01);
 
   obs::Tracer tracer(8192);
+  // Spare-adverts tick on every link and would evict the packet walks the
+  // timeline section exists to show; chaos events and packet hops stay.
+  tracer.set_keep_spare_adverts(false);
   net.set_tracer(&tracer);
 
   // Seeded background traffic so faults hit live flows, not an idle fabric.
@@ -223,6 +285,10 @@ int main(int argc, char** argv) {
   engine.attach_registry(reg, "");
   const chaos::Report report = engine.run(plan);
 
+  // Snapshot the flight recorder now: the ring must reflect the churn
+  // window, not the daemon chatter of the long drain below.
+  const obs::Timeline timeline = obs::merge_timelines({&tracer});
+
   // Drain remaining traffic so the drop accounting below is final.
   net.run_to_completion(plan.duration + 30.0);
 
@@ -279,6 +345,8 @@ int main(int argc, char** argv) {
   root.set("scale", std::move(scale));
   root.set("chaos", report.to_json());
   root.set("drops", obs::drops_json(net.drop_breakdown()));
+  root.set("timeline", obs::to_json(timeline));
+  root.set("links", links_json(net, 64));
   root.set("metrics", obs::to_json(reg.snapshot()));
   const std::string path = obs::write_artifact("chaos_run", root);
   if (!path.empty() && !opt.quiet) {
