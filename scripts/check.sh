@@ -84,7 +84,25 @@ if mutated_out="$("$build_dir"/tools/mifo-verify --gen 120 --seed 7 \
 fi
 grep -q "COUNTEREXAMPLE" <<< "$mutated_out"
 grep -q "verdict: CYCLE-FOUND" <<< "$mutated_out"
-echo "verifier OK: both topologies proved loop-free, planted cycle caught"
+# Incremental mode (docs/VERIFICATION.md): the warm pass must be pure
+# cache on an unchanged deployment and the built-in differential pass must
+# report verdicts identical to the from-scratch full provers.
+inc_out="$("$build_dir"/tools/mifo-verify --gen 120 --seed 7 --dests 4 \
+  --incremental)"
+grep -q "cache hits" <<< "$inc_out"
+grep -q "differential: incremental verdicts identical" <<< "$inc_out"
+# Negative control: a planted forwarding blackhole (FIB entry evicted at a
+# router its neighbor still forwards to) must be caught with a concrete
+# witness walk (nonzero exit).
+if bh_out="$("$build_dir"/tools/mifo-verify --gen 120 --seed 7 --dests 4 \
+    --mutate-blackhole)"; then
+  echo "mifo-verify missed the planted blackhole"
+  exit 1
+fi
+grep -q "blackhole\[no-route\]" <<< "$bh_out"
+grep -q "verdict: BLACKHOLE-FOUND" <<< "$bh_out"
+echo "verifier OK: both topologies proved loop-free, incremental mode" \
+     "agreed with the full provers, planted cycle and blackhole caught"
 
 echo "=== mifo-chaos: safety under churn (docs/CHAOS.md) ==="
 # A randomized chaos run must end SAFE-UNDER-CHURN (exit 0) and emit a
@@ -157,8 +175,38 @@ fi
 grep -q "COUNTEREXAMPLE" <<< "$chaos_out"
 grep -q "cycle" <<< "$chaos_out"
 grep -q "verdict: UNSAFE" <<< "$chaos_out"
+# Incremental-vs-full differential gate (docs/VERIFICATION.md): a
+# high-churn randomized run (>=100 applied events) in differential mode
+# re-proves every snapshot both ways and must see zero divergences. The
+# resulting artifact feeds the mifo-trace gates below, so the per-span
+# verify-cost columns are exercised there too.
+MIFO_ARTIFACT_DIR="$artifact_dir" \
+  "$build_dir"/tools/mifo-chaos --gen --ases 36 --seed 5 --duration 3.0 \
+  --rate 30 --flows 24 --verify-mode differential -q
+python3 - "$artifact_dir/chaos_run.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+c = a["chaos"]
+assert c["verify_mode"] == "differential", c["verify_mode"]
+assert c["events_applied"] >= 100, c["events_applied"]
+assert c["safe"] is True
+assert c["differential_mismatches"] == 0, c["differential_mismatches"]
+assert c["checks_run"] == c["checks_clean"] > 0
+# The proof cache must actually carry the run: most snapshots serve most
+# destinations from cache instead of re-proving them.
+assert c["total_cache_hits"] > c["total_dirty_destinations"], \
+    (c["total_cache_hits"], c["total_dirty_destinations"])
+spans = c["spans"]
+assert spans and all({"dirty_destinations", "states_explored",
+                      "cache_hits"} <= sp.keys() for sp in spans)
+print(f"chaos differential OK: {c['events_applied']} events, "
+      f"{c['checks_run']} snapshots verified both ways, 0 mismatches, "
+      f"{c['total_cache_hits']} cache hits vs "
+      f"{c['total_dirty_destinations']} re-proofs")
+PY
 echo "chaos OK: randomized churn proved safe, reproducible, planted" \
-     "violation caught"
+     "violation caught, incremental differential clean"
 
 echo "=== mifo-trace: flight-recorder rendering (docs/OBSERVABILITY.md) ==="
 # --check proves the merged timeline is epoch-monotone and every span
@@ -174,6 +222,10 @@ diff "$artifact_dir/trace_render.first.txt" \
      "$artifact_dir/trace_render.second.txt"
 grep -q "recovery latency by failure class" \
   "$artifact_dir/trace_render.first.txt"
+# The differential-mode artifact above carries per-span verify-cost
+# accounting; the span table must surface it.
+grep -q "dirty" "$artifact_dir/trace_render.first.txt"
+grep -q "cached" "$artifact_dir/trace_render.first.txt"
 echo "mifo-trace OK: timeline checked, rendering byte-reproducible"
 
 echo "=== sharded plane: sharded-vs-serial differential gate ==="
@@ -219,6 +271,42 @@ for name, arm in arms.items():
             assert p["overflow"] == 0, (name, p)
 print(f"sharded differential OK: {len(arms)} arms bit-exact "
       f"({a['scale']['routers']} routers, digest {serial})")
+PY
+
+echo "=== incremental verifier: dirty-set cost + differential gate ==="
+# Reduced-scale run of the verify-incremental bench (the committed
+# BENCH_bench_verify_incremental.json carries the 1269-router figures):
+# single-link and single-withdraw events must re-explore >=10x fewer
+# states than the full provers, and every arm's incremental verdict must
+# match the from-scratch oracle.
+MIFO_ARTIFACT_DIR="$artifact_dir" MIFO_TOPO_N=120 \
+  "$build_dir"/bench/bench_verify_incremental --benchmark_filter=none \
+  > /dev/null
+python3 - "$artifact_dir/verify_incremental.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "verify_incremental"
+assert a["scale"]["routers"] > 0 and a["scale"]["destinations"] > 0
+assert a["cold"]["destinations"] > 0 and a["cold"]["states_explored"] > 0
+arms = {arm["name"]: arm for arm in a["arms"]}
+assert {"link_down", "link_down_reconv", "withdraw"} <= arms.keys(), \
+    sorted(arms)
+for name, arm in arms.items():
+    assert {"dirty_destinations", "states_explored", "cache_hits",
+            "full_states", "reduction", "differential_match"} <= arm.keys()
+    assert arm["differential_match"] is True, name
+    assert arm["dirty_destinations"] + arm["cache_hits"] == \
+        a["cold"]["destinations"], name
+# The headline claims: a pure link event dirties nothing (the deflection
+# graph never reads port state) and a single withdrawal stays local.
+assert arms["link_down"]["dirty_destinations"] == 0
+assert arms["link_down"]["reduction"] >= 10, arms["link_down"]["reduction"]
+assert arms["withdraw"]["reduction"] >= 10, arms["withdraw"]["reduction"]
+print(f"incremental verifier OK: {len(arms)} arms differential-clean, "
+      f"link_down {arms['link_down']['reduction']:.0f}x / withdraw "
+      f"{arms['withdraw']['reduction']:.0f}x fewer states than full")
 PY
 
 echo "=== clang-tidy (scripts/lint.sh) ==="

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# clang-tidy over every translation unit in src/ and tools/, driven by the
+# clang-tidy over every translation unit in src/, tools/ and bench/, driven by the
 # compile_commands.json that the top-level CMakeLists always exports
 # (CMAKE_EXPORT_COMPILE_COMMANDS ON). Check selection and the documented
 # exclusions live in .clang-tidy.
@@ -23,7 +23,7 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   cmake -B "$build_dir" -S .
 fi
 
-mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+mapfile -t sources < <(find src tools bench -name '*.cpp' | sort)
 echo "lint.sh: clang-tidy over ${#sources[@]} translation units"
 
 if command -v run-clang-tidy > /dev/null 2>&1; then

@@ -17,6 +17,7 @@ benches=(
   bench_maxmin
   bench_fig5_throughput_deployment
   bench_sharded_plane
+  bench_verify_incremental
 )
 
 for name in "${benches[@]}"; do

@@ -15,7 +15,27 @@ std::uint64_t port_key(RouterId r, PortId p) {
   return (static_cast<std::uint64_t>(r.value()) << 32) | p.value();
 }
 
+/// Sorted copies for order-insensitive differential comparison: the full
+/// lint pass orders issues by daemon while the incremental merge orders by
+/// destination, so equality is on multisets of rendered strings.
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
 }  // namespace
+
+const char* to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::Full:
+      return "full";
+    case VerifyMode::Incremental:
+      return "incremental";
+    case VerifyMode::Differential:
+      return "differential";
+  }
+  return "?";
+}
 
 obs::Json Report::to_json() const {
   obs::Json root = obs::Json::object();
@@ -26,6 +46,14 @@ obs::Json Report::to_json() const {
            obs::Json::num(static_cast<std::uint64_t>(checks_clean)));
   root.set("events_applied",
            obs::Json::num(static_cast<std::uint64_t>(events_applied)));
+  root.set("verify_mode", obs::Json::str(chaos::to_string(verify_mode)));
+  root.set("differential_mismatches",
+           obs::Json::num(static_cast<std::uint64_t>(differential_mismatches)));
+  root.set("total_dirty_destinations",
+           obs::Json::num(
+               static_cast<std::uint64_t>(total_dirty_destinations)));
+  root.set("total_cache_hits",
+           obs::Json::num(static_cast<std::uint64_t>(total_cache_hits)));
 
   obs::Json events = obs::Json::array();
   for (const AppliedEvent& ae : log) {
@@ -70,6 +98,12 @@ obs::Json Report::to_json() const {
     if (sp.t_verified >= 0.0) {
       j.set("t_verified", obs::Json::num(sp.t_verified));
     }
+    j.set("dirty_destinations",
+          obs::Json::num(static_cast<std::uint64_t>(sp.dirty_destinations)));
+    j.set("states_explored",
+          obs::Json::num(static_cast<std::uint64_t>(sp.states_explored)));
+    j.set("cache_hits",
+          obs::Json::num(static_cast<std::uint64_t>(sp.cache_hits)));
     span_arr.push(std::move(j));
   }
   root.set("spans", std::move(span_arr));
@@ -114,9 +148,15 @@ Engine::Engine(testbed::Emulation& em, const topo::AsGraph& g,
       g_(&g),
       cfg_(cfg),
       route_ctl_(em, g),
-      rng_(hash_combine(cfg.seed, 0xc4a06)) {
+      rng_(hash_combine(cfg.seed, 0xc4a06)),
+      inc_(verify::IncrementalConfig{.lint = cfg.lint,
+                                     .valley = cfg.valley,
+                                     .blackhole = false}) {
   owners_.reserve(em.hosts.size());
   for (const auto& att : em.hosts) owners_.emplace_back(att.addr, att.as);
+  if (cfg_.verify_mode != VerifyMode::Full) {
+    em.net->attach_change_log(&change_log_);
+  }
 }
 
 void Engine::attach_registry(obs::Registry& reg, const std::string& labels) {
@@ -131,6 +171,9 @@ void Engine::attach_registry(obs::Registry& reg, const std::string& labels) {
       "chaos.recovery_latency",
       {0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0},
       labels);
+  m_dirty_dests_ = reg.counter("verify.dirty_destinations", labels);
+  m_states_explored_ = reg.counter("verify.states_explored", labels);
+  m_cache_hits_ = reg.counter("verify.cache_hits", labels);
   shard_ = &reg.create_shard();
   dump_ = std::make_unique<obs::DumpService>(reg);
 }
@@ -141,6 +184,30 @@ std::uint64_t Engine::drop_sum() const {
     total += count;
   }
   return total;
+}
+
+Engine::FullVerdict Engine::run_full_provers() const {
+  const dp::Network& net = *em_->net;
+  FullVerdict out;
+  const auto loop_check = verify::check_loop_freedom(net);
+  out.loop_free = loop_check.loop_free;
+  out.loop_stats = loop_check.stats;
+  out.states_explored = loop_check.stats.states;
+  for (const auto& cycle : loop_check.cycles) {
+    out.cycles.push_back(cycle.to_string());
+  }
+  if (cfg_.valley) {
+    const auto vc = verify::check_valley_freedom(net);
+    out.states_explored += vc.stats.states;
+    for (const auto& v : vc.violations) out.valleys.push_back(v.to_string());
+  }
+  if (cfg_.lint) {
+    for (const auto& issue :
+         verify::lint_deployment(net, *g_, em_->daemons, owners_)) {
+      out.lints.push_back(issue.to_string());
+    }
+  }
+  return out;
 }
 
 bool Engine::snapshot(Report& report, SimTime t) {
@@ -162,21 +229,84 @@ bool Engine::snapshot(Report& report, SimTime t) {
   }
 
   const dp::Network& net = *em_->net;
-  const auto loop_check = verify::check_loop_freedom(net);
-  report.last_stats = loop_check.stats;
-  bool clean = loop_check.loop_free;
-  for (const auto& cycle : loop_check.cycles) {
-    report.violations.push_back(
-        Violation{t, last_event_index_, "cycle: " + cycle.to_string()});
-  }
-  if (cfg_.lint) {
-    const auto issues =
-        verify::lint_deployment(net, *g_, em_->daemons, owners_);
-    for (const auto& issue : issues) {
+  report.verify_mode = cfg_.verify_mode;
+  bool clean = true;
+  last_cost_ = verify::IncrementalStats{};
+
+  const auto report_strings = [&](const char* label,
+                                  const std::vector<std::string>& items) {
+    for (const std::string& s : items) {
       report.violations.push_back(
-          Violation{t, last_event_index_, "lint: " + issue.to_string()});
+          Violation{t, last_event_index_, std::string(label) + ": " + s});
     }
-    clean = clean && issues.empty();
+  };
+
+  if (cfg_.verify_mode == VerifyMode::Full) {
+    const FullVerdict full = run_full_provers();
+    report.last_stats = full.loop_stats;
+    clean = full.loop_free && full.valleys.empty() && full.lints.empty();
+    report_strings("cycle", full.cycles);
+    report_strings("valley", full.valleys);
+    report_strings("lint", full.lints);
+    last_cost_.destinations = full.loop_stats.destinations;
+    last_cost_.dirty_destinations = full.loop_stats.destinations;
+    last_cost_.states_explored = full.states_explored;
+  } else {
+    changes_.drain(change_log_);
+    const verify::IncrementalResult inc =
+        inc_.check(net, *g_, em_->daemons, owners_, changes_);
+    changes_.clear();
+    report.last_stats = inc.loop.stats;
+    clean = inc.loop.loop_free && inc.valley.valley_free && inc.lint.empty();
+    std::vector<std::string> inc_cycles;
+    std::vector<std::string> inc_valleys;
+    std::vector<std::string> inc_lints;
+    for (const auto& c : inc.loop.cycles) inc_cycles.push_back(c.to_string());
+    for (const auto& v : inc.valley.violations) {
+      inc_valleys.push_back(v.to_string());
+    }
+    for (const auto& i : inc.lint) inc_lints.push_back(i.to_string());
+    report_strings("cycle", inc_cycles);
+    report_strings("valley", inc_valleys);
+    report_strings("lint", inc_lints);
+    last_cost_ = inc.stats;
+    report.total_dirty_destinations += inc.stats.dirty_destinations;
+    report.total_cache_hits += inc.stats.cache_hits;
+
+    if (cfg_.verify_mode == VerifyMode::Differential) {
+      // Oracle pass: the untouched full provers on the same state. The
+      // incremental result must be verdict- and counterexample-identical
+      // (lints compare as multisets — the full pass orders by daemon, the
+      // incremental merge by destination).
+      const FullVerdict full = run_full_provers();
+      const bool match = full.loop_free == inc.loop.loop_free &&
+                         sorted(full.cycles) == sorted(inc_cycles) &&
+                         sorted(full.valleys) == sorted(inc_valleys) &&
+                         sorted(full.lints) == sorted(inc_lints);
+      if (!match) {
+        ++report.differential_mismatches;
+        report.violations.push_back(Violation{
+            t, last_event_index_,
+            "differential: incremental verdict diverged from full prover "
+            "(cycles " +
+                std::to_string(inc_cycles.size()) + "/" +
+                std::to_string(full.cycles.size()) + ", valleys " +
+                std::to_string(inc_valleys.size()) + "/" +
+                std::to_string(full.valleys.size()) + ", lints " +
+                std::to_string(inc_lints.size()) + "/" +
+                std::to_string(full.lints.size()) + ", loop_free " +
+                (inc.loop.loop_free ? "1" : "0") + "/" +
+                (full.loop_free ? "1" : "0") + ")"});
+        clean = false;
+      }
+    }
+  }
+  if (shard_) {
+    shard_->add(m_dirty_dests_,
+                static_cast<double>(last_cost_.dirty_destinations));
+    shard_->add(m_states_explored_,
+                static_cast<double>(last_cost_.states_explored));
+    shard_->add(m_cache_hits_, static_cast<double>(last_cost_.cache_hits));
   }
   if (!clean) {
     report.safe = false;
@@ -386,6 +516,9 @@ bool Engine::plant_valley(std::string& detail) {
     const auto* eg = em_->wirings[ring[i].value()].egress_to(ring[(i + 1) % 3]);
     net.router(eg->router).fib().set_alt(dst, eg->port);
     net.router(eg->router).config().enforce_tag_check = false;
+    // The config write bypasses the hooked mutators, so record it by hand —
+    // otherwise incremental snapshots would keep serving the stale proof.
+    if (auto* log = net.change_log()) log->note_config(eg->router);
   }
   planted_violation_ = true;
   detail = "ring AS" + std::to_string(ring[0].value()) + "-AS" +
@@ -446,6 +579,7 @@ Report Engine::run(const Plan& plan) {
   MIFO_EXPECTS(em_ != nullptr);
   dp::Network& net = *em_->net;
   Report report;
+  report.verify_mode = cfg_.verify_mode;
   report.log.reserve(plan.events.size());
 
   // Unified timeline: plan events interleaved with pending reconvergence
@@ -530,6 +664,11 @@ Report Engine::run(const Plan& plan) {
     ++ei;
     if (applied) {
       report.log.back().clean_immediate = snapshot(report, ev.t);
+      // The immediate snapshot's verify cost is this event's footprint.
+      Span& sp = report.spans.back();
+      sp.dirty_destinations = last_cost_.dirty_destinations;
+      sp.states_explored = last_cost_.states_explored;
+      sp.cache_hits = last_cost_.cache_hits;
       report.log.back().clean_reconverged = true;
       checks.push_back(ev.t + cfg_.reconv_delay);
     }

@@ -24,11 +24,31 @@
 #include "obs/artifact.hpp"
 #include "obs/exposition.hpp"
 #include "obs/registry.hpp"
+#include "dataplane/change_log.hpp"
 #include "testbed/emulation.hpp"
+#include "verify/changeset.hpp"
 #include "verify/deflection_graph.hpp"
+#include "verify/incremental.hpp"
 #include "verify/lint.hpp"
+#include "verify/valley.hpp"
 
 namespace mifo::chaos {
+
+/// How each quiescent-point snapshot proves safety.
+enum class VerifyMode : std::uint8_t {
+  /// From-scratch full provers at every snapshot (the PR-4 behaviour).
+  Full,
+  /// verify::IncrementalVerifier fed by the network's ChangeLog: only the
+  /// destinations the fault dirtied are re-proved (cost proportional to
+  /// the fault's footprint).
+  Incremental,
+  /// Both, with the full provers as the oracle: any difference in verdict,
+  /// counterexamples or lints between the two is itself a violation. The
+  /// check.sh differential gate runs chaos plans in this mode.
+  Differential,
+};
+
+[[nodiscard]] const char* to_string(VerifyMode m);
 
 struct EngineConfig {
   std::uint64_t seed = 1;
@@ -40,6 +60,10 @@ struct EngineConfig {
   bool verify = true;
   /// Include the FIB/RIB lint pass in each snapshot.
   bool lint = true;
+  /// Include the Gao–Rexford valley-freedom prover in each snapshot.
+  bool valley = true;
+  /// Proof strategy per snapshot (see VerifyMode).
+  VerifyMode verify_mode = VerifyMode::Full;
   /// Extra settle time after the last event before the final snapshot.
   SimTime drain_margin = 0.5;
 };
@@ -77,6 +101,13 @@ struct Span {
   SimTime t_first_impact = -1.0;  ///< first snapshot with new drops
   SimTime t_reconverged = -1.0;   ///< paired recovery event applied
   SimTime t_verified = -1.0;      ///< first clean verify after the repair
+  /// Verification cost of the immediate (injection-time) snapshot — the
+  /// per-fault verify footprint mifo-trace's span table renders. Under
+  /// VerifyMode::Full, dirty_destinations counts every destination and
+  /// cache_hits stays 0.
+  std::size_t dirty_destinations = 0;
+  std::size_t states_explored = 0;
+  std::size_t cache_hits = 0;
 };
 
 struct Report {
@@ -88,6 +119,15 @@ struct Report {
   std::size_t events_applied = 0;
   bool safe = true;  ///< every snapshot loop-free and lint-clean
   verify::VerifyStats last_stats;
+  VerifyMode verify_mode = VerifyMode::Full;
+  /// Differential mode: snapshots where incremental and full verdicts
+  /// disagreed (0 on a correct implementation; any mismatch also lands in
+  /// `violations` and forces safe = false).
+  std::size_t differential_mismatches = 0;
+  /// Cumulative incremental-engine accounting across all snapshots (zeros
+  /// under VerifyMode::Full).
+  std::size_t total_dirty_destinations = 0;
+  std::size_t total_cache_hits = 0;
 
   /// The `chaos` section of the extended mifo.run_artifact.v1 schema:
   /// events, violations, spans and the per-failure-class recovery-latency
@@ -141,6 +181,16 @@ class Engine {
 
   /// Verification snapshot at the current time; updates report/metrics.
   bool snapshot(Report& report, SimTime t);
+  /// Full-prover pass shared by Full and Differential snapshots.
+  struct FullVerdict {
+    bool loop_free = true;
+    std::vector<std::string> cycles;
+    std::vector<std::string> valleys;
+    std::vector<std::string> lints;
+    verify::VerifyStats loop_stats;
+    std::size_t states_explored = 0;  ///< loop + valley, for span costing
+  };
+  [[nodiscard]] FullVerdict run_full_provers() const;
 
   /// Network-wide drop total (all breakdown buckets) — the span
   /// first-impact signal.
@@ -162,6 +212,16 @@ class Engine {
   std::size_t last_event_index_ = 0;
   bool planted_violation_ = false;
 
+  /// Incremental verification state (unused under VerifyMode::Full): the
+  /// change log is attached to the network at construction, drained into
+  /// `changes_` at each snapshot, and resolved by the memoizing verifier.
+  dp::ChangeLog change_log_;
+  verify::ChangeSet changes_;
+  verify::IncrementalVerifier inc_;
+  /// Verify cost of the most recent snapshot (copied into the span of the
+  /// event that triggered the immediate snapshot).
+  verify::IncrementalStats last_cost_;
+
   std::unique_ptr<obs::DumpService> dump_;
   obs::Registry* reg_ = nullptr;
   obs::Registry::Shard* shard_ = nullptr;
@@ -169,6 +229,9 @@ class Engine {
   obs::MetricId m_checks_ = 0;
   obs::MetricId m_violations_ = 0;
   obs::MetricId m_recovery_ = 0;
+  obs::MetricId m_dirty_dests_ = 0;
+  obs::MetricId m_states_explored_ = 0;
+  obs::MetricId m_cache_hits_ = 0;
 };
 
 }  // namespace mifo::chaos

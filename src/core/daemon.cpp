@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "dataplane/change_log.hpp"
 #include "obs/trace.hpp"
 
 namespace mifo::core {
@@ -121,6 +122,7 @@ void MifoDaemon::clear_alt(dp::Network& net, dp::Addr prefix) {
 }
 
 void MifoDaemon::update_prefix(dp::Network& net, PrefixRoutes pr) {
+  if (auto* log = net.change_log()) log->note_daemon(wiring_.as, pr.prefix);
   clear_alt(net, pr.prefix);
   std::erase_if(elected_,
                 [&pr](const auto& e) { return e.first == pr.prefix; });
@@ -134,6 +136,7 @@ void MifoDaemon::update_prefix(dp::Network& net, PrefixRoutes pr) {
 }
 
 void MifoDaemon::remove_prefix(dp::Network& net, dp::Addr prefix) {
+  if (auto* log = net.change_log()) log->note_daemon(wiring_.as, prefix);
   clear_alt(net, prefix);
   std::erase_if(prefixes_,
                 [prefix](const PrefixRoutes& pr) { return pr.prefix == prefix; });

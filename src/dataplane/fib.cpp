@@ -1,28 +1,42 @@
 #include "dataplane/fib.hpp"
 
 #include "common/contracts.hpp"
+#include "dataplane/change_log.hpp"
 
 namespace mifo::dp {
+
+void Fib::note_change(Addr dst) {
+  if (change_log_ != nullptr) change_log_->note_fib(self_, dst);
+}
 
 void Fib::set_route(Addr dst, PortId out_port) {
   MIFO_EXPECTS(dst != kInvalidAddr);
   MIFO_EXPECTS(out_port.valid());
   auto [it, inserted] = table_.try_emplace(dst, FibEntry{out_port});
+  if (inserted || it->second.out_port != out_port) note_change(dst);
   if (!inserted) it->second.out_port = out_port;
 }
 
 void Fib::set_alt(Addr dst, PortId alt_port) {
   const auto it = table_.find(dst);
   MIFO_EXPECTS(it != table_.end());
+  if (it->second.alt_port != alt_port) note_change(dst);
   it->second.alt_port = alt_port;
 }
 
 void Fib::clear_alt(Addr dst) {
   const auto it = table_.find(dst);
-  if (it != table_.end()) it->second.alt_port = PortId::invalid();
+  if (it != table_.end()) {
+    if (it->second.alt_port.valid()) note_change(dst);
+    it->second.alt_port = PortId::invalid();
+  }
 }
 
-bool Fib::remove(Addr dst) { return table_.erase(dst) > 0; }
+bool Fib::remove(Addr dst) {
+  const bool removed = table_.erase(dst) > 0;
+  if (removed) note_change(dst);
+  return removed;
+}
 
 std::optional<FibEntry> Fib::lookup(Addr dst) const {
   const auto it = table_.find(dst);

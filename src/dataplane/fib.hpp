@@ -13,6 +13,8 @@
 
 namespace mifo::dp {
 
+struct ChangeLog;
+
 struct FibEntry {
   PortId out_port;                      ///< default path
   PortId alt_port = PortId::invalid();  ///< alternative path (may be unset)
@@ -51,8 +53,21 @@ class Fib {
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }
 
+  /// Mirror value-changing writes into `log` as FibChange records tagged
+  /// with `self` (the owning router). The daemon rewrites identical alt
+  /// ports every tick, so only writes that actually change the entry are
+  /// recorded — see dataplane/change_log.hpp. nullptr detaches.
+  void attach_change_log(ChangeLog* log, RouterId self) {
+    change_log_ = log;
+    self_ = self;
+  }
+
  private:
+  void note_change(Addr dst);
+
   std::unordered_map<Addr, FibEntry> table_;
+  ChangeLog* change_log_ = nullptr;
+  RouterId self_ = RouterId::invalid();
 };
 
 }  // namespace mifo::dp

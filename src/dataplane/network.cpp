@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/contracts.hpp"
+#include "dataplane/change_log.hpp"
 #include "obs/registry.hpp"
 
 namespace mifo::dp {
@@ -280,10 +281,19 @@ void Network::flush_down_queue(Port& port) {
   port.queue_bytes = 0;
 }
 
+void Network::attach_change_log(ChangeLog* log) {
+  change_log_ = log;
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    routers_[i].fib().attach_change_log(log,
+                                        RouterId(static_cast<std::uint32_t>(i)));
+  }
+}
+
 void Network::set_port_up(RouterId r, PortId port, bool up) {
   Port& p = router(r).port(port);
   if (p.up == up) return;
   p.up = up;
+  if (change_log_ != nullptr) change_log_->note_port(r, port);
   if (!up) {
     // The in-flight packet (busy tx) is already on the wire and will arrive;
     // everything still queued behind it is discarded now so the drops land

@@ -27,6 +27,8 @@ namespace mifo::dp {
 /// owning shard's event queue at the next epoch barrier. The (from_node,
 /// from_port) pair keys the deterministic merge order: per-port transmissions
 /// are serialized (tx time > 0), so (t, from_node, from_port) is unique.
+struct ChangeLog;
+
 struct RemoteEvent {
   SimTime t = 0.0;
   bool to_router = true;
@@ -165,6 +167,16 @@ class Network {
   /// resumes transmission of anything enqueued since.
   void set_port_up(RouterId r, PortId port, bool up);
 
+  // --- change capture (incremental verification) ------------------------------
+  /// Mirror value-changing FIB writes and link-state flips of every router
+  /// into `log` (see dataplane/change_log.hpp). Attach after the topology is
+  /// built — routers added later are not wired. The log is not owned and
+  /// must outlive the network; nullptr detaches. Disabled (the default)
+  /// this costs one pointer test per mutating call and nothing on the
+  /// packet path.
+  void attach_change_log(ChangeLog* log);
+  [[nodiscard]] ChangeLog* change_log() const { return change_log_; }
+
   // --- observability -----------------------------------------------------------
   /// Opt-in forwarding-decision tracing. The tracer must outlive the
   /// network; nullptr (the default) disables tracing at one pointer test
@@ -274,6 +286,7 @@ class Network {
   std::function<void(RemoteEvent&&)> remote_sink_;
 
   obs::Tracer* tracer_ = nullptr;
+  ChangeLog* change_log_ = nullptr;
   obs::LinkSeries link_samples_;
   std::uint64_t worker_epoch_ = 0;
   /// publish_metrics() exactly-once state: one registry shard per

@@ -1,0 +1,71 @@
+#include "verify/changeset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mifo::verify {
+
+namespace {
+
+void sort_unique(std::vector<dp::Addr>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void add_router_fib_dests(std::span<const dp::Router> routers, RouterId r,
+                          std::vector<dp::Addr>& out) {
+  if (!r.valid() || r.value() >= routers.size()) return;
+  for (const auto& [dst, fe] : routers[r.value()].fib()) out.push_back(dst);
+}
+
+}  // namespace
+
+void ChangeSet::drain(dp::ChangeLog& log) {
+  const auto take = [](auto& dst, auto& src) {
+    if (dst.empty()) {
+      dst = std::move(src);
+    } else {
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+    src.clear();
+  };
+  take(fib_, log.fib);
+  take(ports_, log.ports);
+  take(configs_, log.configs);
+  take(daemons_, log.daemons);
+}
+
+void ChangeSet::clear() {
+  fib_.clear();
+  ports_.clear();
+  configs_.clear();
+  daemons_.clear();
+}
+
+std::vector<dp::Addr> ChangeSet::dirty_destinations(
+    std::span<const dp::Router> routers) const {
+  std::vector<dp::Addr> dirty;
+  dirty.reserve(fib_.size() + daemons_.size());
+  for (const auto& c : fib_) dirty.push_back(c.dst);
+  for (const auto& c : daemons_) dirty.push_back(c.prefix);
+  for (const auto& c : configs_) add_router_fib_dests(routers, c.router, dirty);
+  sort_unique(dirty);
+  return dirty;
+}
+
+std::vector<dp::Addr> ChangeSet::port_dirty_destinations(
+    std::span<const dp::Router> routers) const {
+  std::vector<dp::Addr> dirty;
+  for (const auto& c : ports_) add_router_fib_dests(routers, c.router, dirty);
+  sort_unique(dirty);
+  return dirty;
+}
+
+std::string ChangeSet::to_string() const {
+  std::ostringstream os;
+  os << "fib=" << fib_.size() << " ports=" << ports_.size()
+     << " configs=" << configs_.size() << " daemons=" << daemons_.size();
+  return os.str();
+}
+
+}  // namespace mifo::verify

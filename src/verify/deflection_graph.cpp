@@ -6,22 +6,11 @@
 
 #include "common/contracts.hpp"
 #include "topo/relationship.hpp"
+#include "verify/state_graph.hpp"
 
 namespace mifo::verify {
 
-namespace {
-
-// State encoding: (router, tag, returned) -> router*4 + tag*2 + returned.
-constexpr std::uint32_t state_id(std::uint32_t router, bool tag,
-                                 bool returned) {
-  return router * 4 + (tag ? 2u : 0u) + (returned ? 1u : 0u);
-}
-constexpr std::uint32_t state_router(std::uint32_t s) { return s / 4; }
-
-struct Succ {
-  std::uint32_t state = 0;
-  Hop hop;
-};
+namespace detail {
 
 /// All transitions a packet in state (r, tag, returned) could take under
 /// Algorithm 1 as implemented by dp::Router::handle_packet. Congestion and
@@ -110,6 +99,31 @@ std::vector<std::uint32_t> entry_states(std::span<const dp::Router> routers,
   entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
   return entries;
 }
+
+std::vector<std::uint32_t> host_entry_states(
+    std::span<const dp::Router> routers, dp::Addr dst) {
+  std::vector<std::uint32_t> entries;
+  for (std::uint32_t r = 0; r < routers.size(); ++r) {
+    if (!routers[r].fib().contains(dst)) continue;
+    for (const dp::Port& p : routers[r].ports()) {
+      if (p.kind == dp::PortKind::Host) {
+        entries.push_back(state_id(r, true, false));
+        break;
+      }
+    }
+  }
+  return entries;  // router-ascending, unique by construction
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::entry_states;
+using detail::state_id;
+using detail::state_router;
+using detail::Succ;
+using detail::successors;
 
 enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
 

@@ -49,10 +49,20 @@ std::vector<LintIssue> lint_topology(const topo::AsGraph& g) {
   return issues;
 }
 
-std::vector<LintIssue> lint_deployment(
+namespace {
+
+/// Shared body of the full and destination-filtered deployment lints.
+/// `dests` (sorted) restricts output to those destinations; nullptr lints
+/// everything.
+std::vector<LintIssue> lint_deployment_impl(
     const dp::Network& net, const topo::AsGraph& g,
     std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
-    std::span<const std::pair<dp::Addr, AsId>> prefix_owners) {
+    std::span<const std::pair<dp::Addr, AsId>> prefix_owners,
+    const std::span<const dp::Addr>* dests) {
+  const auto want = [dests](dp::Addr dst) {
+    return dests == nullptr ||
+           std::binary_search(dests->begin(), dests->end(), dst);
+  };
   std::vector<LintIssue> issues;
 
   std::unordered_map<dp::Addr, AsId> owner;
@@ -82,6 +92,7 @@ std::vector<LintIssue> lint_deployment(
     // knowledge: every claimed alternative must be a neighbor that would
     // genuinely export a route for the prefix.
     for (const core::PrefixRoutes& pr : daemon->prefixes()) {
+      if (!want(pr.prefix)) continue;
       const auto own = owner.find(pr.prefix);
       if (own == owner.end() || own->second == w.as) continue;
       const bgp::RouteStore& routes = routes_for(own->second);
@@ -113,7 +124,7 @@ std::vector<LintIssue> lint_deployment(
     for (const RouterId r : w.routers) {
       const dp::Router& router = net.router(r);
       for (const auto& [dst, fe] : router.fib()) {
-        if (!fe.alt_port.valid()) continue;
+        if (!fe.alt_port.valid() || !want(dst)) continue;
         if (fe.alt_port == fe.out_port) {
           LintIssue issue;
           issue.kind = LintKind::AltEqualsDefault;
@@ -161,6 +172,23 @@ std::vector<LintIssue> lint_deployment(
     }
   }
   return issues;
+}
+
+}  // namespace
+
+std::vector<LintIssue> lint_deployment(
+    const dp::Network& net, const topo::AsGraph& g,
+    std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
+    std::span<const std::pair<dp::Addr, AsId>> prefix_owners) {
+  return lint_deployment_impl(net, g, daemons, prefix_owners, nullptr);
+}
+
+std::vector<LintIssue> lint_deployment(
+    const dp::Network& net, const topo::AsGraph& g,
+    std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
+    std::span<const std::pair<dp::Addr, AsId>> prefix_owners,
+    std::span<const dp::Addr> dests) {
+  return lint_deployment_impl(net, g, daemons, prefix_owners, &dests);
 }
 
 }  // namespace mifo::verify

@@ -57,4 +57,16 @@ struct LintIssue {
     std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
     std::span<const std::pair<dp::Addr, AsId>> prefix_owners);
 
+/// Destination-filtered deployment lints: only issues whose `dst` is in
+/// `dests` (which must be sorted ascending) are produced. Every deployment
+/// lint names the destination it concerns, so issues partition exactly by
+/// destination — the incremental verifier re-lints dirty destinations with
+/// this overload and the union over all destinations equals the full run
+/// (element-identical; see the differential property tests).
+[[nodiscard]] std::vector<LintIssue> lint_deployment(
+    const dp::Network& net, const topo::AsGraph& g,
+    std::span<const std::unique_ptr<core::MifoDaemon>> daemons,
+    std::span<const std::pair<dp::Addr, AsId>> prefix_owners,
+    std::span<const dp::Addr> dests);
+
 }  // namespace mifo::verify

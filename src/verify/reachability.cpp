@@ -1,0 +1,167 @@
+#include "verify/reachability.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <sstream>
+
+#include "topo/relationship.hpp"
+#include "verify/state_graph.hpp"
+
+namespace mifo::verify {
+
+namespace {
+
+using detail::entry_states;
+using detail::state_returned;
+using detail::state_router;
+using detail::state_tag;
+using detail::Succ;
+using detail::successors;
+
+/// Whether the programmed alternative can actually move a packet carrying
+/// `tag` onward: the port must exist, be up, lead to a router, and (for an
+/// eBGP alt under an enforced Tag-Check) pass Eq. 3.
+bool alt_usable(const dp::Router& router, const dp::FibEntry& fe, bool tag) {
+  if (!fe.alt_port.valid()) return false;
+  const dp::Port& alt = router.port(fe.alt_port);
+  if (!alt.up) return false;
+  if (alt.kind == dp::PortKind::Host || !alt.peer.is_router()) return false;
+  if (alt.kind == dp::PortKind::Ebgp && router.config().enforce_tag_check &&
+      !topo::check_bit(tag, alt.neighbor_rel)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(BlackholeKind k) {
+  switch (k) {
+    case BlackholeKind::NoRoute:
+      return "no-route";
+    case BlackholeKind::ReturnedNoAlt:
+      return "returned-no-alt";
+    case BlackholeKind::DefaultDown:
+      return "default-down";
+  }
+  return "?";
+}
+
+std::string Blackhole::to_string() const {
+  std::ostringstream os;
+  os << "dst=" << dst << " blackhole[" << verify::to_string(kind) << "] at r"
+     << router.value() << ":";
+  if (hops.empty()) {
+    os << " stranded at an ingress state";
+  } else {
+    for (const Hop& h : hops) {
+      os << " r" << h.from.value() << " -[" << verify::to_string(h.kind)
+         << " tag=" << (h.tag ? 1 : 0) << "]->";
+    }
+    os << " r" << hops.back().to.value();
+  }
+  return os.str();
+}
+
+ReachabilityCheck check_reachability(std::span<const dp::Router> routers,
+                                     std::span<const dp::Addr> dests) {
+  ReachabilityCheck result;
+  result.stats.destinations = dests.size();
+  const std::size_t num_states = routers.size() * 4;
+  // prev[s]: -1 unvisited, -2 entry (BFS root), otherwise predecessor state.
+  std::vector<std::int64_t> prev(num_states);
+  std::vector<Hop> prev_hop(num_states);
+  std::vector<std::uint8_t> reported(routers.size());
+  std::vector<Succ> succs;
+
+  const auto witness = [&](std::uint32_t s) {
+    std::vector<Hop> hops;
+    for (std::int64_t at = s; prev[at] != -2; at = prev[at]) {
+      hops.push_back(prev_hop[at]);
+    }
+    std::reverse(hops.begin(), hops.end());
+    return hops;
+  };
+
+  for (const dp::Addr dst : dests) {
+    std::fill(prev.begin(), prev.end(), -1);
+    std::fill(reported.begin(), reported.end(), 0);
+    std::deque<std::uint32_t> queue;
+    for (const std::uint32_t entry : entry_states(routers, dst)) {
+      prev[entry] = -2;
+      queue.push_back(entry);
+    }
+
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.front();
+      queue.pop_front();
+      const std::uint32_t r = state_router(s);
+      const bool tag = state_tag(s);
+      const bool returned = state_returned(s);
+      const dp::Router& router = routers[r];
+      ++result.stats.states;
+
+      // Classify the state before expanding it.
+      const auto fe = router.fib().lookup(dst);
+      std::optional<BlackholeKind> kind;
+      if (!fe) {
+        kind = BlackholeKind::NoRoute;
+      } else if (returned) {
+        // The default would cycle (that is what `returned` means); with the
+        // alternative structurally unusable the packet is stranded. An alt
+        // that merely fails the Tag-Check is the intended line-20 drop.
+        const bool has_alt =
+            fe->alt_port.valid() &&
+            router.port(fe->alt_port).kind != dp::PortKind::Host &&
+            router.port(fe->alt_port).peer.is_router() &&
+            router.port(fe->alt_port).up;
+        if (!has_alt) kind = BlackholeKind::ReturnedNoAlt;
+      } else {
+        const dp::Port& def = router.port(fe->out_port);
+        if (!def.up && !alt_usable(router, *fe, tag)) {
+          kind = BlackholeKind::DefaultDown;
+        }
+      }
+      if (kind && !reported[r]) {
+        reported[r] = 1;
+        Blackhole b;
+        b.dst = dst;
+        b.router = RouterId(r);
+        b.kind = *kind;
+        b.hops = witness(s);
+        result.blackholes.push_back(std::move(b));
+        result.clean = false;
+      }
+
+      succs.clear();
+      successors(routers, dst, r, tag, returned, succs);
+      result.stats.edges += succs.size();
+      for (const Succ& succ : succs) {
+        if (prev[succ.state] == -1) {
+          prev[succ.state] = s;
+          prev_hop[succ.state] = succ.hop;
+          queue.push_back(succ.state);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ReachabilityCheck check_reachability(const dp::Network& net,
+                                     std::span<const dp::Addr> dests) {
+  return check_reachability(net.routers(), dests);
+}
+
+ReachabilityCheck check_reachability(std::span<const dp::Router> routers) {
+  const auto dests = fib_destinations(routers);
+  return check_reachability(routers, dests);
+}
+
+ReachabilityCheck check_reachability(const dp::Network& net) {
+  return check_reachability(net.routers());
+}
+
+}  // namespace mifo::verify

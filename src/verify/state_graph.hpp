@@ -1,0 +1,64 @@
+// Shared per-destination deflection-graph structure (verify:: internals).
+//
+// The loop prover, the valley-freedom prover, the reachability/blackhole
+// analysis and the incremental engine all walk the SAME state graph — one
+// (router, tag, returned) node set with one successor relation mirroring
+// Algorithm 1. Defining it once here (implemented in deflection_graph.cpp,
+// next to the loop prover that has used it since PR 3) guarantees the
+// analyses can never disagree about what an admissible transition is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/router.hpp"
+#include "verify/deflection_graph.hpp"
+
+namespace mifo::verify::detail {
+
+/// State encoding: (router, tag, returned) -> router*4 + tag*2 + returned.
+[[nodiscard]] constexpr std::uint32_t state_id(std::uint32_t router, bool tag,
+                                               bool returned) {
+  return router * 4 + (tag ? 2u : 0u) + (returned ? 1u : 0u);
+}
+[[nodiscard]] constexpr std::uint32_t state_router(std::uint32_t s) {
+  return s / 4;
+}
+[[nodiscard]] constexpr bool state_tag(std::uint32_t s) {
+  return (s & 2u) != 0;
+}
+[[nodiscard]] constexpr bool state_returned(std::uint32_t s) {
+  return (s & 1u) != 0;
+}
+
+struct Succ {
+  std::uint32_t state = 0;
+  Hop hop;
+};
+
+/// All transitions a packet in state (r, tag, returned) could take under
+/// Algorithm 1 as implemented by dp::Router::handle_packet. Congestion and
+/// flow pinning are abstracted: a MIFO-enabled router may always deflect.
+/// Link state (Port::up) is deliberately not consulted — see the dirty-set
+/// soundness argument in changeset.hpp.
+void successors(std::span<const dp::Router> routers, dp::Addr dst,
+                std::uint32_t r, bool tag, bool returned,
+                std::vector<Succ>& out);
+
+/// Ingress states packets can genuinely enter the network in: host-origin
+/// traffic (tag = 1) where a host attaches, plus one state per eBGP ingress
+/// port with the tag that port's Tag-step would write. The loop prover's
+/// entry set (sound over-approximation of traffic sources).
+[[nodiscard]] std::vector<std::uint32_t> entry_states(
+    std::span<const dp::Router> routers, dp::Addr dst);
+
+/// Host-origin entry states only. The valley prover starts here: the
+/// emulation is closed (every packet originates at an attached host), and
+/// the hypothetical eBGP-ingress states above would manufacture paths no
+/// neighbor would actually send — e.g. a provider handing us traffic we can
+/// only route back up — which are valleys of the model, not of the network.
+[[nodiscard]] std::vector<std::uint32_t> host_entry_states(
+    std::span<const dp::Router> routers, dp::Addr dst);
+
+}  // namespace mifo::verify::detail

@@ -53,6 +53,7 @@ struct Options {
   bool mutate_valley = false;
   bool print_plan = false;
   bool quiet = false;
+  chaos::VerifyMode verify_mode = chaos::VerifyMode::Full;
 };
 
 void usage(const char* argv0) {
@@ -60,7 +61,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--plan FILE | --gen] [--topo FILE] [--ases N] [--seed S]\n"
       "          [--duration T] [--rate R] [--mttr M] [--dests K]\n"
-      "          [--flows F] [--mutate-valley] [--print-plan] [-q]\n"
+      "          [--flows F] [--verify-mode MODE] [--mutate-valley]\n"
+      "          [--print-plan] [-q]\n"
       "  --plan FILE     scripted chaos plan (docs/CHAOS.md DSL)\n"
       "  --gen           seeded random plan (Poisson faults, default)\n"
       "  --topo FILE     CAIDA-style topology dump (default: generated)\n"
@@ -71,6 +73,10 @@ void usage(const char* argv0) {
       "  --mttr M        mean time-to-repair for --gen (default 0.15)\n"
       "  --dests K       prefix-owning ASes (default 6)\n"
       "  --flows F       background flows (default 48)\n"
+      "  --verify-mode MODE  full | incremental | differential (default\n"
+      "                  full). incremental re-proves only the destinations\n"
+      "                  each fault dirtied; differential also runs the full\n"
+      "                  provers as an oracle and fails on any divergence\n"
       "  --mutate-valley plant an Eq.3-violating deflection ring mid-run;\n"
       "                  the verifier must catch it (expects exit 2)\n"
       "  --print-plan    dump the effective plan before running\n"
@@ -105,6 +111,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.dests = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--flows" && (v = next())) {
       opt.flows = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--verify-mode" && (v = next())) {
+      const std::string mode = v;
+      if (mode == "full") {
+        opt.verify_mode = chaos::VerifyMode::Full;
+      } else if (mode == "incremental") {
+        opt.verify_mode = chaos::VerifyMode::Incremental;
+      } else if (mode == "differential") {
+        opt.verify_mode = chaos::VerifyMode::Differential;
+      } else {
+        return false;
+      }
     } else if (arg == "--mutate-valley") {
       opt.mutate_valley = true;
     } else if (arg == "--print-plan") {
@@ -281,6 +298,7 @@ int main(int argc, char** argv) {
   net.publish_metrics(reg, "phase=start");  // reserve ids deterministically
   chaos::EngineConfig ec;
   ec.seed = opt.seed;
+  ec.verify_mode = opt.verify_mode;
   chaos::Engine engine(em, g, ec);
   engine.attach_registry(reg, "");
   const chaos::Report report = engine.run(plan);
@@ -308,6 +326,14 @@ int main(int argc, char** argv) {
                 "last pass: %zu states, %zu edges\n",
                 report.checks_run, report.checks_clean,
                 report.last_stats.states, report.last_stats.edges);
+    if (report.verify_mode != chaos::VerifyMode::Full) {
+      std::printf("incremental: %zu destinations re-proved, %zu cache hits "
+                  "across %zu snapshots (%s mode, %zu differential "
+                  "mismatches)\n",
+                  report.total_dirty_destinations, report.total_cache_hits,
+                  report.checks_run, chaos::to_string(report.verify_mode),
+                  report.differential_mismatches);
+    }
     std::size_t done = 0;
     for (const auto& f : net.flows()) done += f.done ? 1 : 0;
     std::printf("traffic: %zu/%zu flows completed, %llu/%llu pkts "

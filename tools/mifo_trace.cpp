@@ -243,9 +243,9 @@ void render_spans(const obs::Json& chaos) {
     return;
   }
   std::printf("=== fault spans ===\n");
-  std::printf("%-4s %-14s %10s %12s %12s %10s %9s\n", "idx", "kind",
-              "injected", "first_impact", "reconverged", "verified",
-              "latency");
+  std::printf("%-4s %-14s %10s %12s %12s %10s %9s %7s %9s %7s\n", "idx",
+              "kind", "injected", "first_impact", "reconverged", "verified",
+              "latency", "dirty", "vstates", "cached");
   for (const obs::Json& sp : spans->items()) {
     const double inj = num_of(sp, "t_injected", 0.0);
     const double imp = num_of(sp, "t_first_impact", -1.0);
@@ -259,9 +259,12 @@ void render_spans(const obs::Json& chaos) {
     if (rec >= 0.0) std::snprintf(rec_s, sizeof(rec_s), "%.4f", rec);
     if (ver >= 0.0) std::snprintf(ver_s, sizeof(ver_s), "%.4f", ver);
     if (ver >= 0.0) std::snprintf(lat_s, sizeof(lat_s), "%.4f", ver - inj);
-    std::printf("%-4.0f %-14s %10.4f %12s %12s %10s %9s\n",
+    std::printf("%-4.0f %-14s %10.4f %12s %12s %10s %9s %7.0f %9.0f %7.0f\n",
                 num_of(sp, "event_index", 0.0), text_of(sp, "kind").c_str(),
-                inj, imp_s, rec_s, ver_s, lat_s);
+                inj, imp_s, rec_s, ver_s, lat_s,
+                num_of(sp, "dirty_destinations", 0.0),
+                num_of(sp, "states_explored", 0.0),
+                num_of(sp, "cache_hits", 0.0));
   }
   if (const obs::Json* classes = chaos.find("recovery_by_class")) {
     if (!classes->members().empty()) {
