@@ -1,0 +1,582 @@
+// Open-loop steady-state experiment: the gravity/Poisson/bounded-Pareto
+// workload engine drives FluidSim::run_stream at 10k+ concurrent flows,
+// with the incremental max–min solver re-solving only the bottleneck
+// component each arrival/departure touches.
+//
+// Arms:
+//   BGP / MIFO@100      — long steady runs for the Fig.5/6-style
+//                         throughput CDFs (scaled to the per-flow cap) and
+//                         the per-event solve-work reduction headline
+//   MIFO@100+chaos      — failure-during-flash-crowd composition: the
+//                         busiest calibrated links degrade and flap inside
+//                         the crowd window (chaos::apply_to_fluid_window)
+//   BGP+differential    — a fast ramp to the concurrency target with the
+//                         from-scratch oracle checked after EVERY event
+//
+// Calibration: per-link expected load is computed from the gravity weights
+// over the endpoints' BGP default paths; the arrival rate is chosen so the
+// most-loaded link sits at MIFO_STEADY_RHO utilization, and the per-flow
+// cap at offered/target keeps the open-loop system near MIFO_STEADY_TARGET
+// concurrent flows.
+//
+// Knobs (on top of bench_common's MIFO_TOPO_N / MIFO_SEED / MIFO_THREADS):
+//   MIFO_STEADY_TARGET     target concurrent flows        (default 12000)
+//   MIFO_STEADY_ENDPOINTS  gravity endpoints              (default 512)
+//   MIFO_STEADY_RHO        bottleneck utilization target  (default 0.85)
+//   MIFO_STEADY_DURATION   steady-arm sim seconds; 0 = auto (3x ramp time)
+//   MIFO_STEADY_DIFF_DURATION  differential-arm ramp seconds (default 8)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chaos/fluid.hpp"
+#include "chaos/plan.hpp"
+#include "common/contracts.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace mifo;
+
+struct SteadyScale {
+  bench::Scale base;
+  std::size_t target;
+  std::size_t endpoints;
+  double rho;
+  double duration;       ///< 0 = auto
+  double diff_duration;
+};
+
+SteadyScale load_steady_scale() {
+  SteadyScale s;
+  s.base = bench::load_scale(/*topo_n=*/1500, /*flows=*/0, /*dest_pool=*/0,
+                             /*arrival=*/0.0);
+  s.target = env_u64("MIFO_STEADY_TARGET", 12000);
+  s.endpoints = env_u64("MIFO_STEADY_ENDPOINTS", 512);
+  s.rho = env_double("MIFO_STEADY_RHO", 0.85);
+  s.duration = env_double("MIFO_STEADY_DURATION", 0.0);
+  s.diff_duration = env_double("MIFO_STEADY_DIFF_DURATION", 8.0);
+  return s;
+}
+
+/// Calibrated open-loop operating point.
+struct Calibration {
+  double bottleneck_share = 0.0;  ///< worst link's fraction of offered load
+  double offered_mbps = 0.0;
+  double lambda = 0.0;            ///< arrivals/s
+  double flow_cap = 0.0;          ///< Mbps
+  double mean_flow_mb = 0.0;      ///< megabits
+  double ramp = 0.0;              ///< seconds to reach `target` concurrent
+  std::vector<std::uint32_t> hot_links;  ///< busiest directed links
+};
+
+traffic::WorkloadParams base_params(const SteadyScale& s) {
+  traffic::WorkloadParams wp;
+  wp.seed = s.base.seed * 11 + 3;
+  wp.max_endpoints = s.endpoints;
+  wp.pareto_alpha = 1.3;
+  wp.size_min = 1 * kMegaByte;
+  wp.size_max = 1000 * kMegaByte;
+  return wp;
+}
+
+/// Expected per-link load from the gravity marginals over the endpoints'
+/// BGP default paths: load[l] = sum over (s,d) pairs of w_s * w_d whose
+/// default path crosses l, as a fraction of total offered traffic. The
+/// worst link pins the arrival rate for a given utilization target.
+Calibration calibrate(const topo::AsGraph& g, const SteadyScale& s) {
+  traffic::WorkloadParams wp = base_params(s);
+  wp.arrival_rate = 1.0;  // placeholder; only endpoints/sizes matter here
+  wp.duration = 1.0;
+  traffic::WorkloadEngine probe(g, wp);
+  const auto& eps = probe.endpoints();
+  const auto& w = probe.marginals();
+
+  sim::SimConfig cfg;
+  cfg.mode = sim::RoutingMode::Bgp;
+  sim::FluidSim paths(g, cfg);
+  std::vector<double> load(g.num_directed_links(), 0.0);
+  for (std::size_t di = 0; di < eps.size(); ++di) {
+    const bgp::RouteStore& store = paths.routes_for(eps[di]);
+    for (std::size_t si = 0; si < eps.size(); ++si) {
+      if (si == di) continue;
+      const auto walk = core::bgp_walk(g, store, eps[si]);
+      if (!walk.reachable) continue;
+      const double share = w[si] * w[di];
+      for (const LinkId l : walk.links) load[l.value()] += share;
+    }
+  }
+
+  Calibration c;
+  c.mean_flow_mb = probe.mean_flow_megabits();
+  std::uint32_t worst = 0;
+  for (std::uint32_t l = 0; l < load.size(); ++l) {
+    if (load[l] > load[worst]) worst = l;
+  }
+  c.bottleneck_share = load[worst];
+  MIFO_EXPECTS(c.bottleneck_share > 0.0);
+  c.offered_mbps = s.rho * kGigabit / c.bottleneck_share;
+  c.lambda = c.offered_mbps / c.mean_flow_mb;
+  c.flow_cap = std::clamp(
+      c.offered_mbps / static_cast<double>(s.target), 0.05, kGigabit);
+  c.ramp = static_cast<double>(s.target) / c.lambda;
+
+  // Busiest directed links, for the chaos arm's targeted failures.
+  std::vector<std::uint32_t> order(load.size());
+  for (std::uint32_t l = 0; l < load.size(); ++l) order[l] = l;
+  std::sort(order.begin(), order.end(), [&load](std::uint32_t a,
+                                                std::uint32_t b) {
+    return load[a] != load[b] ? load[a] > load[b] : a < b;
+  });
+  for (std::size_t i = 0; i < order.size() && c.hot_links.size() < 3; ++i) {
+    // Keep one direction per adjacency (the twin is failed alongside).
+    const LinkId l(order[i]);
+    const LinkId twin = g.twin(l);
+    if (std::find(c.hot_links.begin(), c.hot_links.end(), twin.value()) ==
+        c.hot_links.end()) {
+      c.hot_links.push_back(l.value());
+    }
+  }
+  return c;
+}
+
+/// Mean flow duration *within a run of length T*: flows run at the cap
+/// when uncongested, so duration ~ size/cap, but heavy-tail elephants
+/// outlive any finite horizon — the concurrency an open-loop run actually
+/// builds is lambda * integral_0^T P(size > cap*u) du, not lambda*E[size]/cap.
+double effective_mean_duration(const traffic::WorkloadParams& wp, double cap,
+                               double horizon) {
+  const double lo = to_megabits(wp.size_min);
+  const double hi = to_megabits(wp.size_max);
+  const double a = wp.pareto_alpha;
+  const double tail = std::pow(lo / hi, a);
+  const auto survival = [&](double megabits) {
+    if (megabits <= lo) return 1.0;
+    if (megabits >= hi) return 0.0;
+    return (std::pow(lo / megabits, a) - tail) / (1.0 - tail);
+  };
+  const int steps = 4096;
+  const double dt = horizon / steps;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) * dt;
+    integral += survival(cap * u) * dt;
+  }
+  return integral;
+}
+
+struct SteadyArm {
+  std::string name;
+  std::string mode;
+  sim::StreamResult res;
+  double lambda = 0.0;
+  double duration = 0.0;
+};
+
+sim::SimConfig arm_config(const SteadyScale& s, const Calibration& c,
+                          sim::RoutingMode mode) {
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  cfg.flow_rate_cap = c.flow_cap;
+  cfg.threads = s.base.threads;
+  // At thousands of concurrent flows a 0.1s daemon tick dominates runtime;
+  // re-evaluate on the paper's 1s telemetry period instead.
+  cfg.reeval_interval = 1.0;
+  return cfg;
+}
+
+SteadyArm run_steady_arm(const topo::AsGraph& g, const SteadyScale& s,
+                         const Calibration& c, sim::RoutingMode mode,
+                         double duration, bool chaos_arm,
+                         obs::Registry& reg) {
+  SteadyArm arm;
+  arm.mode = sim::to_string(mode);
+  arm.name = mode == sim::RoutingMode::Bgp ? "BGP" : "MIFO@100";
+  if (chaos_arm) arm.name += "+chaos";
+  arm.lambda = c.lambda;
+  arm.duration = duration;
+
+  traffic::WorkloadParams wp = base_params(s);
+  wp.arrival_rate = c.lambda;
+  wp.duration = duration;
+  sim::FluidSim fs(g, arm_config(s, c, mode));
+  fs.attach_registry(reg, "arm=" + arm.name);
+  if (mode != sim::RoutingMode::Bgp) {
+    fs.set_deployment(std::vector<bool>(g.num_ases(), true));
+  }
+
+  if (chaos_arm) {
+    // Flash crowd over the middle fifth of the run, and the calibrated
+    // bottleneck links degrade then flap inside that window.
+    traffic::FlashCrowd fc;
+    fc.start = 0.4 * duration;
+    fc.duration = 0.2 * duration;
+    fc.rate_multiplier = 2.0;
+    fc.hotspot_share = 0.3;
+    wp.flash_crowds.push_back(fc);
+
+    chaos::Plan plan;
+    plan.duration = 1.0;
+    for (std::size_t i = 0; i < c.hot_links.size(); ++i) {
+      chaos::Event down;
+      down.t = 0.1 + 0.2 * static_cast<double>(i);
+      down.kind = i == 0 ? chaos::EventKind::LinkDown
+                         : chaos::EventKind::Degrade;
+      down.value = 0.25;
+      down.a = g.link_from(LinkId(c.hot_links[i]));
+      down.b = g.link_to(LinkId(c.hot_links[i]));
+      plan.events.push_back(down);
+      chaos::Event up = down;
+      up.t = down.t + 0.3;
+      up.kind = i == 0 ? chaos::EventKind::LinkUp : chaos::EventKind::Restore;
+      plan.events.push_back(up);
+    }
+    plan.normalize();
+    (void)chaos::apply_to_fluid_window(plan, g, fs, fc.start, fc.duration);
+  }
+
+  traffic::WorkloadEngine eng(g, wp);
+  sim::StreamConfig sc;
+  sc.epoch = std::max(0.25, duration / 80.0);
+  sc.max_time = duration;  // truncate instead of draining the tail
+  sc.measure_solve_latency = mode != sim::RoutingMode::Bgp && !chaos_arm;
+  arm.res = fs.run_stream(eng, sc);
+  return arm;
+}
+
+/// Fast ramp to the concurrency target with the from-scratch oracle
+/// asserted after every solver event.
+SteadyArm run_differential_arm(const topo::AsGraph& g, const SteadyScale& s,
+                               const Calibration& c, obs::Registry& reg) {
+  SteadyArm arm;
+  arm.mode = "BGP";
+  arm.name = "BGP+differential";
+  arm.duration = s.diff_duration;
+  // Flows complete during the ramp (M/G/inf: N(T) = lambda*D*(1-e^-T/D)
+  // with D the mean at-cap duration), so size lambda to clear the target
+  // with 10% headroom even if every flow runs at the full cap. Congestion
+  // only stretches durations, i.e. raises concurrency further.
+  const double mean_duration = c.mean_flow_mb / c.flow_cap;
+  const double ramp_fill = 1.0 - std::exp(-s.diff_duration / mean_duration);
+  arm.lambda = 1.1 * static_cast<double>(s.target) /
+               (mean_duration * ramp_fill);
+
+  traffic::WorkloadParams wp = base_params(s);
+  wp.seed = s.base.seed * 17 + 7;
+  wp.arrival_rate = arm.lambda;
+  wp.duration = s.diff_duration;
+  sim::FluidSim fs(g, arm_config(s, c, sim::RoutingMode::Bgp));
+  fs.attach_registry(reg, "arm=" + arm.name);
+  traffic::WorkloadEngine eng(g, wp);
+  sim::StreamConfig sc;
+  sc.epoch = std::max(0.25, s.diff_duration / 16.0);
+  sc.differential = true;
+  sc.max_time = s.diff_duration;
+  arm.res = fs.run_stream(eng, sc);
+  return arm;
+}
+
+/// CDF of completed-flow throughput as a fraction of the per-flow cap
+/// (the cap plays the access-link role of the paper's 1 Gbps bins).
+std::vector<double> cap_cdf(const SteadyArm& arm, double cap) {
+  std::vector<double> frac;
+  for (const auto& r : arm.res.records) {
+    if (r.completed) frac.push_back(r.throughput() / cap);
+  }
+  std::sort(frac.begin(), frac.end());
+  std::vector<double> cdf(11, 1.0);
+  if (frac.empty()) return cdf;
+  for (int b = 0; b <= 10; ++b) {
+    const double x = 0.1 * b;
+    const auto it = std::upper_bound(frac.begin(), frac.end(), x);
+    cdf[static_cast<std::size_t>(b)] =
+        static_cast<double>(it - frac.begin()) / static_cast<double>(frac.size());
+  }
+  return cdf;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+obs::Json arm_workload_json(const SteadyArm& arm, double cap) {
+  const auto& st = arm.res.solver;
+  obs::Json j = obs::Json::object();
+  j.set("name", obs::Json::str(arm.name));
+  j.set("mode", obs::Json::str(arm.mode));
+  j.set("arrival_rate", obs::Json::num(arm.lambda));
+  j.set("duration", obs::Json::num(arm.res.duration));
+  j.set("truncated", obs::Json::boolean(arm.res.truncated));
+
+  obs::Json wkl = obs::Json::object();
+  wkl.set("peak_active_flows", obs::Json::num(arm.res.peak_active));
+  std::uint64_t completed = 0;
+  std::uint64_t unreachable = 0;
+  double delivered_mb = 0.0;
+  for (const auto& r : arm.res.records) {
+    if (r.completed) {
+      ++completed;
+      delivered_mb += to_megabits(r.spec.size);
+    }
+    if (r.unreachable) ++unreachable;
+  }
+  wkl.set("generated", obs::Json::num(
+                           static_cast<std::uint64_t>(arm.res.records.size())));
+  wkl.set("completed", obs::Json::num(completed));
+  wkl.set("unreachable", obs::Json::num(unreachable));
+  wkl.set("delivered_megabits", obs::Json::num(delivered_mb));
+
+  obs::Json solver = obs::Json::object();
+  solver.set("events", obs::Json::num(st.events));
+  solver.set("components_solved", obs::Json::num(st.components_solved));
+  solver.set("flows_resolved", obs::Json::num(st.flows_resolved));
+  solver.set("incidences_resolved", obs::Json::num(st.incidences_resolved));
+  solver.set("full_incidences", obs::Json::num(st.full_incidences));
+  solver.set("peak_component", obs::Json::num(st.peak_component));
+  solver.set("reduction", obs::Json::num(st.reduction()));
+  solver.set("differential_checks", obs::Json::num(st.differential_checks));
+  solver.set("differential_mismatches",
+             obs::Json::num(st.differential_mismatches));
+  wkl.set("solver", std::move(solver));
+
+  obs::Json cdf = obs::Json::array();
+  for (const double v : cap_cdf(arm, cap)) cdf.push(obs::Json::num(v));
+  wkl.set("throughput_cdf_of_cap", std::move(cdf));
+  j.set("workload", std::move(wkl));
+  j.set("load", obs::to_json(arm.res.load));
+  return j;
+}
+
+// Headline numbers stashed for the counter-export benchmark below.
+double g_peak_active = 0.0;
+double g_reduction = 0.0;
+double g_diff_checks = 0.0;
+double g_diff_mismatches = 0.0;
+double g_diff_peak = 0.0;
+
+void print_steady_state() {
+  const SteadyScale s = load_steady_scale();
+  const topo::AsGraph g = bench::make_topology(s.base);
+
+  std::printf("bench_steady_state: %zu ASes, %zu endpoints, target %zu "
+              "concurrent, rho %.2f (seed %llu)\n",
+              g.num_ases(), s.endpoints, s.target, s.rho,
+              static_cast<unsigned long long>(s.base.seed));
+
+  const Calibration c = calibrate(g, s);
+  const double duration =
+      s.duration > 0.0 ? s.duration : std::max(20.0, 3.0 * c.ramp);
+  std::printf("calibration: bottleneck share %.4f of offered -> offered "
+              "%.0f Mbps, lambda %.1f flows/s, flow cap %.3f Mbps, mean "
+              "flow %.1f Mb, ramp %.1fs, duration %.1fs\n",
+              c.bottleneck_share, c.offered_mbps, c.lambda, c.flow_cap,
+              c.mean_flow_mb, c.ramp, duration);
+
+  // Heavy-tail horizon correction for the steady arms: elephants outlive
+  // the run, so the mean duration seen *inside* it is shorter than
+  // E[size]/cap and the naive lambda undershoots the concurrency target.
+  // Rescaling lambda to target/D_eff(T) restores the design point — end-of-
+  // run consumed bandwidth ~ target*cap = offered, i.e. bottleneck at rho.
+  Calibration cs = c;
+  const double d_eff = effective_mean_duration(base_params(s), c.flow_cap,
+                                               duration);
+  cs.lambda = static_cast<double>(s.target) / d_eff;
+  std::printf("heavy-tail correction: effective mean duration %.1fs within "
+              "%.1fs horizon -> steady lambda %.1f flows/s\n",
+              d_eff, duration, cs.lambda);
+
+  obs::Registry reg;
+  std::vector<SteadyArm> arms;
+  arms.push_back(run_steady_arm(g, s, cs, sim::RoutingMode::Bgp, duration,
+                                /*chaos_arm=*/false, reg));
+  arms.push_back(run_steady_arm(g, s, cs, sim::RoutingMode::Mifo, duration,
+                                /*chaos_arm=*/false, reg));
+  arms.push_back(run_steady_arm(g, s, cs, sim::RoutingMode::Mifo, duration,
+                                /*chaos_arm=*/true, reg));
+  arms.push_back(run_differential_arm(g, s, c, reg));
+  const SteadyArm& mifo_arm = arms[1];
+  const SteadyArm& diff_arm = arms.back();
+
+  std::printf("\n=== steady-state arms ===\n");
+  std::printf("%-18s %10s %10s %12s %12s %10s %14s\n", "arm", "flows",
+              "peak", "events", "reduction", "peak-comp", "diff");
+  for (const SteadyArm& a : arms) {
+    const auto& st = a.res.solver;
+    char diff[32];
+    if (st.differential_checks > 0) {
+      std::snprintf(diff, sizeof(diff), "%llu/%llu ok",
+                    static_cast<unsigned long long>(
+                        st.differential_checks - st.differential_mismatches),
+                    static_cast<unsigned long long>(st.differential_checks));
+    } else {
+      std::snprintf(diff, sizeof(diff), "-");
+    }
+    std::printf("%-18s %10zu %10llu %12llu %11.1fx %10llu %14s\n",
+                a.name.c_str(), a.res.records.size(),
+                static_cast<unsigned long long>(a.res.peak_active),
+                static_cast<unsigned long long>(st.events), st.reduction(),
+                static_cast<unsigned long long>(st.peak_component), diff);
+  }
+
+  std::printf("\n=== throughput CDF (fraction of %.3f Mbps cap) ===\n",
+              c.flow_cap);
+  std::printf("%-12s", "<=cap*");
+  for (const SteadyArm& a : arms) std::printf("%18s", a.name.c_str());
+  std::printf("\n");
+  std::vector<std::vector<double>> cdfs;
+  cdfs.reserve(arms.size());
+  for (const SteadyArm& a : arms) cdfs.push_back(cap_cdf(a, c.flow_cap));
+  for (int b = 0; b <= 10; ++b) {
+    std::printf("%-12.1f", 0.1 * b);
+    for (const auto& cdf : cdfs) {
+      std::printf("%17.1f%%", 100.0 * cdf[static_cast<std::size_t>(b)]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== incremental re-solve latency (MIFO arm, %llu peak "
+              "concurrent) ===\n",
+              static_cast<unsigned long long>(mifo_arm.res.peak_active));
+  const auto& lat = mifo_arm.res.solve_seconds;
+  std::printf("events %zu  p50 %.2fus  p99 %.2fus  p999 %.2fus  max %.2fus\n",
+              lat.size(), 1e6 * percentile(lat, 0.5),
+              1e6 * percentile(lat, 0.99), 1e6 * percentile(lat, 0.999),
+              1e6 * percentile(lat, 1.0));
+
+  g_peak_active = static_cast<double>(mifo_arm.res.peak_active);
+  g_reduction = mifo_arm.res.solver.reduction();
+  g_diff_checks =
+      static_cast<double>(diff_arm.res.solver.differential_checks);
+  g_diff_mismatches =
+      static_cast<double>(diff_arm.res.solver.differential_mismatches);
+  g_diff_peak = static_cast<double>(diff_arm.res.peak_active);
+
+  // --- run artifact (mifo.run_artifact.v1 + workload sections) -------------
+  obs::Json root = obs::Json::object();
+  root.set("schema", obs::Json::str("mifo.run_artifact.v1"));
+  root.set("bench", obs::Json::str("steady_state"));
+  obs::Json scale = obs::Json::object();
+  scale.set("topo_n",
+            obs::Json::num(static_cast<std::uint64_t>(s.base.topo_n)));
+  scale.set("flows", obs::Json::num(static_cast<std::uint64_t>(
+                         arms[0].res.records.size())));
+  scale.set("endpoints",
+            obs::Json::num(static_cast<std::uint64_t>(s.endpoints)));
+  scale.set("target_concurrent",
+            obs::Json::num(static_cast<std::uint64_t>(s.target)));
+  scale.set("rho", obs::Json::num(s.rho));
+  scale.set("seed", obs::Json::num(static_cast<std::uint64_t>(s.base.seed)));
+  root.set("scale", std::move(scale));
+
+  obs::Json wkl = obs::Json::object();
+  wkl.set("bottleneck_share", obs::Json::num(c.bottleneck_share));
+  wkl.set("offered_mbps", obs::Json::num(c.offered_mbps));
+  wkl.set("arrival_rate", obs::Json::num(c.lambda));
+  wkl.set("arrival_rate_steady", obs::Json::num(cs.lambda));
+  wkl.set("effective_mean_duration", obs::Json::num(d_eff));
+  wkl.set("flow_cap_mbps", obs::Json::num(c.flow_cap));
+  wkl.set("mean_flow_megabits", obs::Json::num(c.mean_flow_mb));
+  wkl.set("ramp_seconds", obs::Json::num(c.ramp));
+  wkl.set("duration", obs::Json::num(duration));
+  wkl.set("pareto_alpha", obs::Json::num(base_params(s).pareto_alpha));
+  root.set("workload", std::move(wkl));
+
+  obs::Json ja = obs::Json::array();
+  for (const SteadyArm& a : arms) ja.push(arm_workload_json(a, c.flow_cap));
+  root.set("arms", std::move(ja));
+  root.set("metrics", obs::to_json(reg.snapshot()));
+
+  // Wall-clock data is nondeterministic; artifact consumers byte-compare
+  // same-seed runs after dropping this section (scripts/check.sh).
+  obs::Json timing = obs::Json::object();
+  timing.set("solve_events",
+             obs::Json::num(static_cast<std::uint64_t>(lat.size())));
+  timing.set("solve_p50_us", obs::Json::num(1e6 * percentile(lat, 0.5)));
+  timing.set("solve_p99_us", obs::Json::num(1e6 * percentile(lat, 0.99)));
+  timing.set("solve_p999_us", obs::Json::num(1e6 * percentile(lat, 0.999)));
+  timing.set("solve_max_us", obs::Json::num(1e6 * percentile(lat, 1.0)));
+  root.set("timing", std::move(timing));
+
+  const std::string path = obs::write_artifact("steady_state", root);
+  if (!path.empty()) std::printf("\nartifact: %s\n", path.c_str());
+}
+
+/// Timing benchmark: one open-loop streaming event (arrival or departure)
+/// through the incremental solver at a few hundred concurrent flows.
+void BM_StreamOpenLoop(benchmark::State& state) {
+  topo::GeneratorParams gp;
+  gp.num_ases = 300;
+  gp.seed = 5;
+  const topo::AsGraph g = topo::generate_topology(gp);
+  traffic::WorkloadParams wp;
+  wp.seed = 9;
+  wp.arrival_rate = 400.0;
+  wp.duration = 2.0;
+  wp.max_endpoints = 64;
+  sim::SimConfig cfg;
+  cfg.mode = sim::RoutingMode::Bgp;
+  cfg.flow_rate_cap = 20.0;
+  sim::FluidSim fs(g, cfg);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    traffic::WorkloadEngine eng(g, wp);
+    sim::StreamConfig sc;
+    const auto res = fs.run_stream(eng, sc);
+    events = res.solver.events;
+    benchmark::DoNotOptimize(res.peak_active);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(events * state.iterations()));
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_StreamOpenLoop)->Unit(benchmark::kMillisecond);
+
+/// Incremental vs from-scratch on one synthetic event at N concurrent
+/// flows: the microbenchmark behind the reduction headline.
+void BM_IncrementalArrivalAtN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  const std::size_t links = 4096;
+  std::vector<double> caps(links, kGigabit);
+  sim::IncrementalMaxMin inc(caps, 2.0);
+  std::vector<std::uint32_t> path(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& l : path) l = static_cast<std::uint32_t>(rng.bounded(links));
+    (void)inc.add_flow(path);
+  }
+  for (auto _ : state) {
+    for (auto& l : path) l = static_cast<std::uint32_t>(rng.bounded(links));
+    const auto slot = inc.add_flow(path);
+    benchmark::DoNotOptimize(inc.rate(slot));
+    inc.remove_flow(slot);
+  }
+  state.counters["reduction"] = inc.stats().reduction();
+}
+BENCHMARK(BM_IncrementalArrivalAtN)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Exports the figure-run headline counters into the benchmark JSON so the
+/// committed BENCH_bench_steady_state.json carries them.
+void BM_SteadyStateSummary(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_peak_active);
+  }
+  state.counters["peak_active_flows"] = g_peak_active;
+  state.counters["solve_reduction"] = g_reduction;
+  state.counters["diff_peak_active"] = g_diff_peak;
+  state.counters["diff_checks"] = g_diff_checks;
+  state.counters["diff_mismatches"] = g_diff_mismatches;
+}
+BENCHMARK(BM_SteadyStateSummary);
+
+}  // namespace
+
+MIFO_BENCH_MAIN(print_steady_state)

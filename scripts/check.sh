@@ -309,6 +309,69 @@ print(f"incremental verifier OK: {len(arms)} arms differential-clean, "
       f"{arms['withdraw']['reduction']:.0f}x fewer states than full")
 PY
 
+echo "=== steady-state: open-loop workload + incremental max-min ==="
+# Reduced-scale run of bench_steady_state (the committed
+# BENCH_bench_steady_state.json carries the 12k-concurrent figures): the
+# differential arm must reach its concurrency target with the from-scratch
+# oracle matching bitwise on every event, and the incremental solver must
+# beat the full re-solve by a wide margin even at smoke scale.
+steady_env=(MIFO_ARTIFACT_DIR="$artifact_dir" MIFO_TOPO_N=200
+            MIFO_STEADY_TARGET=400 MIFO_STEADY_ENDPOINTS=64
+            MIFO_STEADY_DIFF_DURATION=4)
+env "${steady_env[@]}" "$build_dir"/bench/bench_steady_state \
+  --benchmark_filter=none > /dev/null
+python3 - "$artifact_dir/steady_state.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "steady_state"
+assert {"topo_n", "endpoints", "target_concurrent", "rho"} <= \
+    a["scale"].keys()
+target = a["scale"]["target_concurrent"]
+wkl = a["workload"]
+assert wkl["bottleneck_share"] > 0 and wkl["offered_mbps"] > 0
+assert wkl["arrival_rate"] > 0 and wkl["flow_cap_mbps"] > 0
+arms = {arm["name"]: arm for arm in a["arms"]}
+assert {"BGP", "MIFO@100", "MIFO@100+chaos", "BGP+differential"} == \
+    arms.keys(), sorted(arms)
+for name, arm in arms.items():
+    w = arm["workload"]
+    assert w["generated"] > 0 and w["completed"] > 0, name
+    s = w["solver"]
+    assert s["events"] > 0 and s["reduction"] >= 2, (name, s["reduction"])
+    assert s["differential_mismatches"] == 0, name
+    assert len(w["throughput_cdf_of_cap"]) == 11, name
+    assert len(arm["load"]) > 0, name
+diff = arms["BGP+differential"]["workload"]
+assert diff["solver"]["differential_checks"] >= diff["solver"]["events"]
+assert diff["peak_active_flows"] >= target, \
+    (diff["peak_active_flows"], target)
+assert "timing" in a  # stripped before the byte-reproducibility diff
+print(f"steady-state OK: diff arm peak {diff['peak_active_flows']} >= "
+      f"{target}, {diff['solver']['differential_checks']} oracle checks "
+      f"clean, reduction {diff['solver']['reduction']:.1f}x")
+PY
+
+# Same-seed byte-reproducibility: two runs must emit identical artifacts
+# once the wall-clock timing section is dropped.
+mv "$artifact_dir/steady_state.json" "$artifact_dir/steady_state.first.json"
+env "${steady_env[@]}" "$build_dir"/bench/bench_steady_state \
+  --benchmark_filter=none > /dev/null
+for f in steady_state.first.json steady_state.json; do
+  python3 - "$artifact_dir/$f" "$artifact_dir/$f.stripped" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+del a["timing"]
+with open(sys.argv[2], "w") as f:
+    json.dump(a, f, indent=1, sort_keys=True)
+PY
+done
+diff "$artifact_dir/steady_state.first.json.stripped" \
+     "$artifact_dir/steady_state.json.stripped"
+echo "steady-state artifact byte-reproducible (timing stripped)"
+
 echo "=== clang-tidy (scripts/lint.sh) ==="
 scripts/lint.sh "$build_dir"
 

@@ -12,12 +12,17 @@ set -euo pipefail
 build_dir="${1:-build}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
+# Perf runs track timings, not figure outputs: suppress run-artifact JSON
+# emission unless the caller asks for it.
+export MIFO_ARTIFACT_DIR="${MIFO_ARTIFACT_DIR:--}"
+
 benches=(
   bench_forwarding_engine
   bench_maxmin
   bench_fig5_throughput_deployment
   bench_sharded_plane
   bench_verify_incremental
+  bench_steady_state
 )
 
 for name in "${benches[@]}"; do

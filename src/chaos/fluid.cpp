@@ -1,9 +1,22 @@
 #include "chaos/fluid.hpp"
 
+#include "common/contracts.hpp"
+
 namespace mifo::chaos {
 
 std::size_t apply_to_fluid(const Plan& plan, const topo::AsGraph& g,
                            sim::FluidSim& fs) {
+  return apply_to_fluid_window(plan, g, fs, 0.0, plan.duration);
+}
+
+std::size_t apply_to_fluid_window(const Plan& plan, const topo::AsGraph& g,
+                                  sim::FluidSim& fs, SimTime start,
+                                  SimTime length) {
+  MIFO_EXPECTS(start >= 0.0 && length > 0.0);
+  MIFO_EXPECTS(plan.duration > 0.0);
+  // scale == 1.0 exactly when the window is the plan's own timeline, so
+  // apply_to_fluid keeps scheduling the original event times bit-for-bit.
+  const double scale = length / plan.duration;
   std::size_t applied = 0;
   for (const Event& ev : plan.events) {
     double factor = 0.0;
@@ -23,8 +36,9 @@ std::size_t apply_to_fluid(const Plan& plan, const topo::AsGraph& g,
     }
     const LinkId ab = g.link(ev.a, ev.b);
     if (!ab.valid()) continue;
-    fs.schedule_capacity_event(ev.t, ab, factor);
-    fs.schedule_capacity_event(ev.t, g.twin(ab), factor);
+    const SimTime t = start + ev.t * scale;
+    fs.schedule_capacity_event(t, ab, factor);
+    fs.schedule_capacity_event(t, g.twin(ab), factor);
     ++applied;
   }
   return applied;

@@ -483,6 +483,23 @@ Json to_json(const LinkSeries& series) {
   return arr;
 }
 
+Json to_json(const LoadSeries& series) {
+  Json arr = Json::array();
+  for (const auto& s : series) {
+    Json m = Json::object();
+    m.set("t", Json::num(s.t));
+    m.set("goodput_mbps", Json::num(s.goodput_mbps));
+    m.set("offered_mbps", Json::num(s.offered_mbps));
+    m.set("max_util", Json::num(s.max_util));
+    m.set("frac_congested", Json::num(s.frac_congested));
+    m.set("active_flows", Json::num(s.active_flows));
+    m.set("arrivals", Json::num(s.arrivals));
+    m.set("completions", Json::num(s.completions));
+    arr.push(std::move(m));
+  }
+  return arr;
+}
+
 Json to_json(const Timeline& tl) {
   Json root = Json::object();
   root.set("overwritten", Json::num(tl.overwritten));

@@ -95,6 +95,7 @@ std::string write_csv(const std::string& name,
 [[nodiscard]] Json to_json(const Snapshot& snap);
 [[nodiscard]] Json to_json(const UtilSeries& series);
 [[nodiscard]] Json to_json(const LinkSeries& series);
+[[nodiscard]] Json to_json(const LoadSeries& series);
 /// Flight-recorder timeline: {"overwritten": N, "events": [...]} with one
 /// object per event carrying the full trace context (deterministic — only
 /// sim-time values, byte-identical across same-seed runs).

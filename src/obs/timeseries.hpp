@@ -32,7 +32,22 @@ struct LinkSample {
   double queue_ratio = 0.0;  ///< tx-queue occupancy at sample time
 };
 
+/// One fixed-length goodput epoch of an open-loop streaming run
+/// (FluidSim::run_stream): delivered goodput integrated over the epoch plus
+/// the load/population state at its closing edge.
+struct LoadSample {
+  SimTime t = 0.0;                 ///< epoch end time
+  double goodput_mbps = 0.0;       ///< megabits delivered / epoch length
+  double offered_mbps = 0.0;       ///< analytic offered load at epoch end
+  double max_util = 0.0;           ///< worst link utilization at epoch end
+  double frac_congested = 0.0;     ///< loaded links ≥ congest threshold
+  std::uint64_t active_flows = 0;  ///< concurrent flows at epoch end
+  std::uint64_t arrivals = 0;      ///< admissions within the epoch
+  std::uint64_t completions = 0;   ///< completions within the epoch
+};
+
 using UtilSeries = std::vector<UtilSample>;
 using LinkSeries = std::vector<LinkSample>;
+using LoadSeries = std::vector<LoadSample>;
 
 }  // namespace mifo::obs

@@ -8,6 +8,7 @@
 // are recorded per flow for the load-balancing and stability figures.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -21,6 +22,7 @@
 #include "sim/maxmin.hpp"
 #include "topo/as_graph.hpp"
 #include "traffic/spec.hpp"
+#include "traffic/workload.hpp"
 
 namespace mifo::sim {
 
@@ -76,6 +78,36 @@ struct FlowRecord {
   }
 };
 
+/// Knobs for the open-loop streaming event loop (run_stream).
+struct StreamConfig {
+  /// Goodput-epoch length for the per-epoch LoadSeries.
+  SimTime epoch = 0.5;
+  /// Run the from-scratch oracle after EVERY solver event and assert
+  /// bitwise-identical rates (the differential acceptance gate; makes each
+  /// event O(active flows)).
+  bool differential = false;
+  /// Record the wall-clock latency of every incremental re-solve into
+  /// StreamResult::solve_seconds (nondeterministic timing data — keep it
+  /// out of byte-compared artifact sections).
+  bool measure_solve_latency = false;
+  /// Hard stop: flows still active at this sim time are left incomplete
+  /// and the result is marked truncated. 0 = run until the stream drains.
+  SimTime max_time = 0.0;
+};
+
+/// Outcome of one open-loop streaming run.
+struct StreamResult {
+  std::vector<FlowRecord> records;    ///< one per generated flow
+  obs::LoadSeries load;               ///< per-epoch goodput series
+  IncrementalMaxMin::Stats solver;    ///< incremental-solver work counters
+  std::uint64_t peak_active = 0;      ///< max concurrent flows observed
+  SimTime duration = 0.0;             ///< sim time the stream ran
+  bool truncated = false;             ///< hit StreamConfig::max_time
+  /// Per-event incremental re-solve wall times (only when
+  /// StreamConfig::measure_solve_latency; excludes differential checking).
+  std::vector<double> solve_seconds;
+};
+
 class FluidSim {
  public:
   FluidSim(const topo::AsGraph& g, SimConfig cfg);
@@ -86,6 +118,17 @@ class FluidSim {
   /// Runs the whole trace to completion and returns one record per flow.
   [[nodiscard]] std::vector<FlowRecord> run(
       std::vector<traffic::FlowSpec> specs);
+
+  /// Open-loop streaming run: pulls arrivals from the workload engine one
+  /// event at a time (millions of flows never materialize as a vector) and
+  /// re-solves rates incrementally per arrival/departure via
+  /// IncrementalMaxMin — the companion to run(), whose per-event
+  /// from-scratch solve is retained as the differential oracle.
+  [[nodiscard]] StreamResult run_stream(traffic::WorkloadEngine& workload,
+                                        const StreamConfig& sc);
+  /// Same event loop over a pre-generated trace (tests / replays).
+  [[nodiscard]] StreamResult run_stream(std::vector<traffic::FlowSpec> specs,
+                                        const StreamConfig& sc);
 
   /// Schedule a capacity change on one directed link: at time `t` its
   /// capacity becomes `factor * SimConfig::link_capacity`. The factor is
@@ -130,6 +173,13 @@ class FluidSim {
 
   [[nodiscard]] double utilization(std::uint32_t link) const;
   [[nodiscard]] core::WalkResult route_flow(AsId src, AsId dest);
+  /// Shared streaming event loop behind both run_stream overloads:
+  /// `source` yields arrivals in nondecreasing time order, `offered` (may
+  /// be null) reports the analytic offered load for the epoch series.
+  [[nodiscard]] StreamResult run_stream_impl(
+      const std::function<bool(traffic::FlowSpec&)>& source,
+      const std::function<double(SimTime)>& offered, const StreamConfig& sc);
+  void warm_route_cache_dests(std::vector<std::uint32_t> dests);
   void recompute_rates();
   void reevaluate_paths(std::vector<FlowRecord>& records);
   void take_sample(SimTime t);
@@ -163,6 +213,14 @@ class FluidSim {
   obs::MetricId m_solver_runs_ = 0;
   obs::MetricId m_reroutes_ = 0;
   obs::MetricId m_cache_bytes_ = 0;
+  // Streaming-run metrics (gauges track the latest epoch edge; counters
+  // accumulate IncrementalMaxMin work).
+  obs::MetricId m_active_flows_ = 0;
+  obs::MetricId m_offered_load_ = 0;
+  obs::MetricId m_solver_components_ = 0;
+  obs::MetricId m_solver_incidences_ = 0;
+  obs::MetricId m_solver_full_incidences_ = 0;
+  obs::MetricId m_solver_diff_checks_ = 0;
   SimTime sample_interval_ = 0.0;
   SimTime next_sample_ = 0.0;
   obs::UtilSeries samples_;

@@ -294,4 +294,298 @@ std::vector<double> max_min_rates_reference(const MaxMinInput& in) {
   return rates;
 }
 
+IncrementalMaxMin::IncrementalMaxMin(std::vector<double> link_capacity,
+                                     double flow_cap)
+    : flow_cap_(flow_cap),
+      capacity_(std::move(link_capacity)),
+      flows_on_(capacity_.size()),
+      link_mark_(capacity_.size(), 0) {
+  for (const double c : capacity_) MIFO_EXPECTS(c > 0.0);
+}
+
+bool IncrementalMaxMin::constrained(std::uint32_t l) const {
+  const std::size_t n = flows_on_[l].size();
+  if (n == 0) return false;
+  if (flow_cap_ <= 0.0) return true;
+  // n capped flows can demand at most n * flow_cap: while that fits, the
+  // link can never be the binding constraint nor saturate before the cap
+  // round, so excluding it from the instance leaves every rate unchanged.
+  return static_cast<double>(n) * flow_cap_ > capacity_[l];
+}
+
+void IncrementalMaxMin::link_insert(Slot s) {
+  Flow& f = flows_[s];
+  f.pos.resize(f.links.size());
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    auto& on = flows_on_[f.links[i]];
+    f.pos[i] = static_cast<std::uint32_t>(on.size());
+    on.push_back(Incidence{s, static_cast<std::uint32_t>(i)});
+  }
+}
+
+void IncrementalMaxMin::link_remove(Slot s) {
+  Flow& f = flows_[s];
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    auto& on = flows_on_[f.links[i]];
+    const std::uint32_t p = f.pos[i];
+    on[p] = on.back();
+    on.pop_back();
+    if (p < on.size()) flows_[on[p].slot].pos[on[p].ord] = p;
+  }
+}
+
+void IncrementalMaxMin::next_epoch() {
+  if (++mark_epoch_ == 0) {
+    // Epoch counter wrapped: stamps from ~4G events ago could alias the new
+    // epoch, so pay one full clear and restart.
+    std::fill(flow_mark_.begin(), flow_mark_.end(), 0u);
+    std::fill(link_mark_.begin(), link_mark_.end(), 0u);
+    mark_epoch_ = 1;
+  }
+}
+
+void IncrementalMaxMin::gather_component(Slot seed, std::vector<Slot>& out) {
+  if (flow_mark_[seed] == mark_epoch_) return;
+  flow_mark_[seed] = mark_epoch_;
+  const std::size_t head0 = out.size();
+  out.push_back(seed);
+  for (std::size_t head = head0; head < out.size(); ++head) {
+    for (const std::uint32_t l : flows_[out[head]].links) {
+      if (link_mark_[l] == mark_epoch_) continue;
+      link_mark_[l] = mark_epoch_;
+      if (!constrained(l)) continue;
+      for (const Incidence& inc : flows_on_[l]) {
+        if (flow_mark_[inc.slot] == mark_epoch_) continue;
+        flow_mark_[inc.slot] = mark_epoch_;
+        out.push_back(inc.slot);
+      }
+    }
+  }
+}
+
+std::span<const double> IncrementalMaxMin::canonical_solve(
+    std::vector<Slot>& members) {
+  // The canonical instance fixes everything floating-point order depends
+  // on: member order (admission sequence), per-path link order (original
+  // path order, constrained links only), and the shared capacity universe.
+  // oracle_rates builds the very same instances, so rates match bitwise.
+  std::sort(members.begin(), members.end(), [this](Slot a, Slot b) {
+    return flows_[a].seq < flows_[b].seq;
+  });
+  sub_links_.clear();
+  sub_begin_.clear();
+  sub_views_.clear();
+  sub_begin_.push_back(0);
+  for (const Slot s : members) {
+    for (const std::uint32_t l : flows_[s].links) {
+      if (constrained(l)) sub_links_.push_back(l);
+    }
+    sub_begin_.push_back(static_cast<std::uint32_t>(sub_links_.size()));
+  }
+  sub_views_.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    sub_views_.emplace_back(sub_links_.data() + sub_begin_[i],
+                            sub_begin_[i + 1] - sub_begin_[i]);
+  }
+  MaxMinInput in;
+  in.flow_links = sub_views_;
+  in.link_capacity = capacity_;
+  in.flow_cap = flow_cap_;
+  in.num_links = capacity_.size();
+  return max_min_rates(in, ws_);
+}
+
+void IncrementalMaxMin::solve_members(std::vector<Slot>& members) {
+  const std::span<const double> rates = canonical_solve(members);
+  std::uint64_t path_len = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Flow& f = flows_[members[i]];
+    path_len += f.links.size();
+    if (rates[i] != f.rate) {
+      changes_.push_back(RateChange{members[i], f.rate, rates[i]});
+      f.rate = rates[i];
+    }
+  }
+  ++stats_.components_solved;
+  stats_.flows_resolved += members.size();
+  stats_.incidences_resolved += members.size() + path_len;
+  stats_.peak_component =
+      std::max<std::uint64_t>(stats_.peak_component, members.size());
+}
+
+void IncrementalMaxMin::note_event() {
+  ++stats_.events;
+  stats_.full_incidences += active_ + total_incidences_;
+}
+
+IncrementalMaxMin::Slot IncrementalMaxMin::add_flow(
+    std::span<const std::uint32_t> links) {
+  Slot s = kInvalidSlot;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<Slot>(flows_.size());
+    flows_.emplace_back();
+    flow_mark_.push_back(0);
+  }
+  Flow& f = flows_[s];
+  f.seq = next_seq_++;
+  f.live = true;
+  f.rate = 0.0;
+  f.links.clear();
+  for (const std::uint32_t l : links) {
+    MIFO_EXPECTS(l < capacity_.size());
+    if (std::find(f.links.begin(), f.links.end(), l) == f.links.end()) {
+      f.links.push_back(l);
+    }
+  }
+  link_insert(s);
+  ++active_;
+  total_incidences_ += f.links.size();
+
+  changes_.clear();
+  note_event();
+  // An arrival only raises link counts, so constrained statuses only turn
+  // on: the new flow's component (under post-insert statuses) contains
+  // every flow whose rate can move.
+  next_epoch();
+  members_.clear();
+  gather_component(s, members_);
+  solve_members(members_);
+  return s;
+}
+
+void IncrementalMaxMin::remove_flow(Slot s) {
+  MIFO_EXPECTS(live(s));
+  changes_.clear();
+  // The departing flow's component before removal bounds the blast radius;
+  // afterwards it may have split, so re-solve each remainder component.
+  next_epoch();
+  spill_.clear();
+  gather_component(s, spill_);
+  Flow& f = flows_[s];
+  link_remove(s);
+  total_incidences_ -= f.links.size();
+  --active_;
+  f.live = false;
+  f.rate = 0.0;
+  f.links.clear();
+  f.pos.clear();
+  note_event();
+  next_epoch();
+  for (const Slot m : spill_) {
+    if (m == s || flow_mark_[m] == mark_epoch_) continue;
+    members_.clear();
+    gather_component(m, members_);
+    solve_members(members_);
+  }
+  free_.push_back(s);
+}
+
+void IncrementalMaxMin::update_path(Slot s,
+                                    std::span<const std::uint32_t> links) {
+  MIFO_EXPECTS(live(s));
+  tmp_links_.clear();
+  for (const std::uint32_t l : links) {
+    MIFO_EXPECTS(l < capacity_.size());
+    if (std::find(tmp_links_.begin(), tmp_links_.end(), l) ==
+        tmp_links_.end()) {
+      tmp_links_.push_back(l);
+    }
+  }
+  changes_.clear();
+  Flow& f = flows_[s];
+  if (tmp_links_ == f.links) return;
+
+  // Departure half: re-solve what the flow leaves behind…
+  next_epoch();
+  spill_.clear();
+  gather_component(s, spill_);
+  link_remove(s);
+  total_incidences_ -= f.links.size();
+  next_epoch();
+  flow_mark_[s] = mark_epoch_;  // exclude s from the remainder decomposition
+  for (const Slot m : spill_) {
+    if (m == s || flow_mark_[m] == mark_epoch_) continue;
+    members_.clear();
+    gather_component(m, members_);
+    solve_members(members_);
+  }
+  // …arrival half on the new path (same slot, same admission sequence, so
+  // the canonical ordering is unchanged).
+  f.links.assign(tmp_links_.begin(), tmp_links_.end());
+  link_insert(s);
+  total_incidences_ += f.links.size();
+  note_event();
+  next_epoch();
+  members_.clear();
+  gather_component(s, members_);
+  solve_members(members_);
+}
+
+void IncrementalMaxMin::set_capacity(std::uint32_t link, double capacity) {
+  MIFO_EXPECTS(link < capacity_.size());
+  MIFO_EXPECTS(capacity > 0.0);
+  changes_.clear();
+  if (capacity_[link] == capacity) return;
+  const bool was = constrained(link);
+  capacity_[link] = capacity;
+  if (flows_on_[link].empty()) return;
+  note_event();
+  if (!was && !constrained(link)) return;  // can still never bind
+  // The link's own flows seed every affected component: a component can
+  // only split or merge across `link`, so each resulting component holds a
+  // flow that crosses it.
+  seeds_.clear();
+  for (const Incidence& inc : flows_on_[link]) seeds_.push_back(inc.slot);
+  std::sort(seeds_.begin(), seeds_.end());
+  next_epoch();
+  for (const Slot m : seeds_) {
+    if (flow_mark_[m] == mark_epoch_) continue;
+    members_.clear();
+    gather_component(m, members_);
+    solve_members(members_);
+  }
+}
+
+std::vector<double> IncrementalMaxMin::oracle_rates() {
+  std::vector<double> out(flows_.size(), 0.0);
+  std::vector<Slot> order;
+  order.reserve(active_);
+  for (Slot s = 0; s < flows_.size(); ++s) {
+    if (flows_[s].live) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [this](Slot a, Slot b) {
+    return flows_[a].seq < flows_[b].seq;
+  });
+  next_epoch();
+  std::vector<Slot> members;
+  for (const Slot s : order) {
+    if (flow_mark_[s] == mark_epoch_) continue;
+    members.clear();
+    gather_component(s, members);
+    const std::span<const double> rates = canonical_solve(members);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      out[members[i]] = rates[i];
+    }
+  }
+  return out;
+}
+
+bool IncrementalMaxMin::check_differential() {
+  const std::vector<double> oracle = oracle_rates();
+  bool ok = true;
+  for (Slot s = 0; s < flows_.size(); ++s) {
+    const double expect = flows_[s].live ? flows_[s].rate : 0.0;
+    if (oracle[s] != expect) {
+      ok = false;
+      break;
+    }
+  }
+  ++stats_.differential_checks;
+  if (!ok) ++stats_.differential_mismatches;
+  return ok;
+}
+
 }  // namespace mifo::sim

@@ -83,4 +83,157 @@ struct MaxMinWorkspace {
 [[nodiscard]] std::vector<double> max_min_rates_reference(
     const MaxMinInput& in);
 
+/// Incremental max–min solver over a dynamic flow population (the open-loop
+/// streaming workload's arrival/departure event interface).
+///
+/// Max–min allocations decompose exactly over connected components of the
+/// flow↔link sharing graph, where only *constrained* links couple flows: a
+/// link crossed by n capped flows can never bind while n * flow_cap <=
+/// capacity, so it imposes no constraint and is pruned from the instance
+/// without changing any rate. Each arrival / departure / path change /
+/// capacity change therefore re-solves only the bottleneck-connected
+/// component(s) it touches. Under internet-shaped load (access-capped flows
+/// over fat links) components stay tiny, so per-event work sits orders of
+/// magnitude below the from-scratch solve FluidSim::recompute_rates runs.
+///
+/// Exactness: every component is solved by one *canonical* max_min_rates
+/// call — members ordered by their monotonic admission sequence, paths
+/// filtered to constrained links — and the retained from-scratch oracle
+/// (oracle_rates) performs the same canonical decomposition over the whole
+/// population, so incremental and oracle rates are bitwise identical
+/// (asserted per event by check_differential and
+/// tests/sim/test_maxmin_incremental.cpp).
+class IncrementalMaxMin {
+ public:
+  /// Dense handle for a live flow; reused after removal (the admission
+  /// sequence number, not the slot, is the canonical identity).
+  using Slot = std::uint32_t;
+  static constexpr Slot kInvalidSlot = 0xffffffffu;
+
+  /// One rate movement from the last mutating call. A slot may appear more
+  /// than once (update_path solves the departure and arrival halves
+  /// separately); apply deltas in order.
+  struct RateChange {
+    Slot slot = 0;
+    double old_rate = 0.0;
+    double new_rate = 0.0;
+  };
+
+  struct Stats {
+    std::uint64_t events = 0;               ///< mutating calls processed
+    std::uint64_t components_solved = 0;
+    std::uint64_t flows_resolved = 0;       ///< sum of solved component sizes
+    std::uint64_t incidences_resolved = 0;  ///< incremental solve work
+    /// What from-scratch re-solves would have cost: active flows + total
+    /// path incidences at each event (FluidSim::recompute_rates's scan).
+    std::uint64_t full_incidences = 0;
+    std::uint64_t peak_component = 0;       ///< largest component solved
+    std::uint64_t differential_checks = 0;
+    std::uint64_t differential_mismatches = 0;
+
+    /// Per-event solve-work reduction vs from-scratch (the headline figure).
+    [[nodiscard]] double reduction() const {
+      return static_cast<double>(full_incidences) /
+             static_cast<double>(incidences_resolved != 0 ? incidences_resolved
+                                                          : 1);
+    }
+  };
+
+  /// Takes the directed-link capacity universe and the per-flow cap
+  /// (<=0 disables the cap — every touched link is then constrained).
+  IncrementalMaxMin(std::vector<double> link_capacity, double flow_cap);
+
+  /// Admit a flow crossing `links` (deduplicated, order preserved); returns
+  /// its slot. Rates of its bottleneck component are re-solved.
+  Slot add_flow(std::span<const std::uint32_t> links);
+  /// Retire a flow; the component it leaves behind is re-solved (it may
+  /// split). The removed flow itself reports no RateChange.
+  void remove_flow(Slot s);
+  /// Move a live flow onto a new path (departure + arrival halves, same
+  /// admission sequence). No-op when the deduplicated path is unchanged.
+  void update_path(Slot s, std::span<const std::uint32_t> links);
+  /// Change one link's capacity (chaos events); re-solves every component
+  /// the change can reach (the link's flows seed splits and merges alike).
+  void set_capacity(std::uint32_t link, double capacity);
+
+  /// Rate movements from the last mutating call (see RateChange).
+  [[nodiscard]] std::span<const RateChange> changes() const {
+    return changes_;
+  }
+
+  [[nodiscard]] bool live(Slot s) const {
+    return s < flows_.size() && flows_[s].live;
+  }
+  [[nodiscard]] double rate(Slot s) const { return flows_[s].rate; }
+  [[nodiscard]] std::span<const std::uint32_t> links_of(Slot s) const {
+    return flows_[s].links;
+  }
+  [[nodiscard]] std::size_t active_flows() const { return active_; }
+  [[nodiscard]] std::size_t num_links() const { return capacity_.size(); }
+  [[nodiscard]] double capacity(std::uint32_t link) const {
+    return capacity_[link];
+  }
+  [[nodiscard]] double flow_cap() const { return flow_cap_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// From-scratch canonical solve of the current population, indexed by
+  /// slot (dead slots hold 0). The differential oracle: must equal the
+  /// incrementally maintained rates element-for-element.
+  [[nodiscard]] std::vector<double> oracle_rates();
+  /// Runs the oracle and compares exactly; updates the differential
+  /// counters. Returns true when every rate matches bitwise.
+  bool check_differential();
+
+ private:
+  struct Flow {
+    std::uint64_t seq = 0;               ///< monotonic admission sequence
+    std::vector<std::uint32_t> links;    ///< deduplicated path
+    std::vector<std::uint32_t> pos;      ///< index in flows_on_[links[i]]
+    double rate = 0.0;
+    bool live = false;
+  };
+  struct Incidence {
+    Slot slot = 0;
+    std::uint32_t ord = 0;  ///< back-pointer: index into Flow::pos
+  };
+
+  [[nodiscard]] bool constrained(std::uint32_t l) const;
+  void link_insert(Slot s);
+  void link_remove(Slot s);
+  void next_epoch();
+  /// BFS over constrained links from `seed`, appending the (unvisited part
+  /// of the) component to `out` under the current mark epoch.
+  void gather_component(Slot seed, std::vector<Slot>& out);
+  /// Canonical component solve: sorts members by seq, filters paths to
+  /// constrained links, runs max_min_rates. Returns per-member rates.
+  std::span<const double> canonical_solve(std::vector<Slot>& members);
+  /// canonical_solve + stored-rate update + RateChange / stats recording.
+  void solve_members(std::vector<Slot>& members);
+  void note_event();
+
+  double flow_cap_ = 0.0;
+  std::vector<double> capacity_;
+  std::vector<Flow> flows_;
+  std::vector<Slot> free_;
+  std::vector<std::vector<Incidence>> flows_on_;  ///< live flows per link
+  std::uint64_t next_seq_ = 1;
+  std::size_t active_ = 0;
+  std::uint64_t total_incidences_ = 0;
+  Stats stats_;
+
+  // Event scratch (allocation-free steady state).
+  MaxMinWorkspace ws_;
+  std::vector<RateChange> changes_;
+  std::vector<std::uint32_t> flow_mark_;
+  std::vector<std::uint32_t> link_mark_;
+  std::uint32_t mark_epoch_ = 0;
+  std::vector<Slot> members_;
+  std::vector<Slot> spill_;
+  std::vector<Slot> seeds_;
+  std::vector<std::uint32_t> tmp_links_;
+  std::vector<std::uint32_t> sub_links_;
+  std::vector<std::uint32_t> sub_begin_;
+  std::vector<std::span<const std::uint32_t>> sub_views_;
+};
+
 }  // namespace mifo::sim

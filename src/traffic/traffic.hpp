@@ -19,7 +19,11 @@ struct TrafficParams {
   std::uint64_t seed = 7;
   /// Number of distinct destination ASes to draw from. The simulator caches
   /// converged routes per destination, so a bounded pool keeps memory flat;
-  /// 0 = unbounded (any AS may be a destination).
+  /// 0 = unbounded (any AS may be a destination). Memory implication of 0:
+  /// FluidSim's route cache then grows one bgp::RouteStore per *distinct
+  /// destination actually drawn* — up to num_ases stores, i.e. O(n^2) route
+  /// rows across the cache on an n-AS topology — so unbounded pools are for
+  /// small topologies or short traces, not internet-scale runs.
   std::size_t dest_pool = 512;
 };
 

@@ -1,0 +1,151 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "traffic/traffic.hpp"
+
+namespace mifo::traffic {
+
+WorkloadEngine::WorkloadEngine(const topo::AsGraph& g, WorkloadParams p)
+    : p_(std::move(p)), rng_(p_.seed) {
+  MIFO_EXPECTS(p_.arrival_rate > 0.0);
+  MIFO_EXPECTS(p_.duration > 0.0);
+  MIFO_EXPECTS(p_.pareto_alpha > 0.0);
+  MIFO_EXPECTS(p_.size_min >= 1 && p_.size_max >= p_.size_min);
+  MIFO_EXPECTS(p_.gravity_skew >= 0.0);
+  MIFO_EXPECTS(p_.diurnal_amplitude >= 0.0 && p_.diurnal_amplitude < 1.0);
+  MIFO_EXPECTS(p_.diurnal_period > 0.0);
+
+  // Endpoints: the best-connected stub ASes (the paper takes stub ASes as
+  // traffic consumers; connectivity rank orders the gravity marginals).
+  const std::vector<AsId> ranked = rank_by_connectivity(g);
+  for (const AsId as : ranked) {
+    if (g.info(as).tier == 3) endpoints_.push_back(as);
+  }
+  if (endpoints_.size() < 2) endpoints_ = ranked;  // degenerate tiny graphs
+  if (p_.max_endpoints != 0 && endpoints_.size() > p_.max_endpoints) {
+    endpoints_.resize(p_.max_endpoints);
+  }
+  MIFO_EXPECTS(endpoints_.size() >= 2);
+
+  // Zipf-over-rank gravity marginals, normalized.
+  weights_.resize(endpoints_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = std::pow(static_cast<double>(i + 1), -p_.gravity_skew);
+    total += weights_[i];
+  }
+  cum_.resize(weights_.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] /= total;
+    run += weights_[i];
+    cum_[i] = run;
+  }
+  cum_.back() = 1.0;  // close the CDF against rounding
+
+  // Thinning envelope: every modulation factor is bounded by its peak, so
+  // the product over "all crowds surging at once" dominates rate_at(t).
+  lambda_max_ = p_.arrival_rate * (1.0 + p_.diurnal_amplitude);
+  for (const FlashCrowd& fc : p_.flash_crowds) {
+    MIFO_EXPECTS(fc.start >= 0.0 && fc.duration >= 0.0);
+    MIFO_EXPECTS(fc.rate_multiplier > 0.0);
+    MIFO_EXPECTS(fc.hotspot_share >= 0.0 && fc.hotspot_share <= 1.0);
+    MIFO_EXPECTS(fc.hotspot_rank < endpoints_.size());
+    lambda_max_ *= std::max(1.0, fc.rate_multiplier);
+  }
+
+  // Closed-form bounded-Pareto mean (megabits), for offered-load gauges and
+  // arrival-rate calibration.
+  const double lo = to_megabits(p_.size_min);
+  const double hi = to_megabits(p_.size_max);
+  const double a = p_.pareto_alpha;
+  if (p_.size_min == p_.size_max) {
+    mean_megabits_ = lo;
+  } else if (std::abs(a - 1.0) < 1e-12) {
+    mean_megabits_ = lo * hi / (hi - lo) * std::log(hi / lo);
+  } else {
+    const double la = std::pow(lo, a);
+    mean_megabits_ = la / (1.0 - std::pow(lo / hi, a)) * a / (a - 1.0) *
+                     (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a));
+  }
+}
+
+double WorkloadEngine::rate_at(SimTime t) const {
+  double rate = p_.arrival_rate;
+  if (p_.diurnal_amplitude > 0.0) {
+    rate *= 1.0 + p_.diurnal_amplitude *
+                      std::sin(2.0 * std::numbers::pi * t / p_.diurnal_period);
+  }
+  for (const FlashCrowd& fc : p_.flash_crowds) {
+    if (t >= fc.start && t < fc.start + fc.duration) {
+      rate *= fc.rate_multiplier;
+    }
+  }
+  return rate;
+}
+
+double WorkloadEngine::offered_load_mbps(SimTime t) const {
+  return rate_at(t) * mean_megabits_;
+}
+
+double WorkloadEngine::mean_flow_megabits() const { return mean_megabits_; }
+
+AsId WorkloadEngine::sample_endpoint() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  const std::size_t i =
+      std::min(static_cast<std::size_t>(it - cum_.begin()), cum_.size() - 1);
+  return endpoints_[i];
+}
+
+Bytes WorkloadEngine::sample_size() {
+  if (p_.size_min == p_.size_max) return p_.size_min;
+  // Bounded-Pareto inverse CDF.
+  const double u = rng_.uniform();
+  const double a = p_.pareto_alpha;
+  const double lo = static_cast<double>(p_.size_min);
+  const double hi = static_cast<double>(p_.size_max);
+  const double ratio = 1.0 - u * (1.0 - std::pow(lo / hi, a));
+  const double x = lo / std::pow(ratio, 1.0 / a);
+  const auto b = static_cast<Bytes>(std::llround(x));
+  return std::clamp(b, p_.size_min, p_.size_max);
+}
+
+bool WorkloadEngine::next(FlowSpec& out) {
+  if (exhausted_) return false;
+  // Lewis–Shedler thinning: candidate arrivals at the envelope rate, each
+  // accepted with probability rate_at(t) / lambda_max.
+  for (;;) {
+    t_ += rng_.exponential(lambda_max_);
+    if (t_ > p_.duration) {
+      exhausted_ = true;
+      return false;
+    }
+    if (rng_.uniform() * lambda_max_ <= rate_at(t_)) break;
+  }
+
+  const AsId src = sample_endpoint();
+  AsId dst = AsId::invalid();
+  for (const FlashCrowd& fc : p_.flash_crowds) {
+    if (fc.hotspot_share <= 0.0) continue;
+    if (t_ < fc.start || t_ >= fc.start + fc.duration) continue;
+    if (rng_.bernoulli(fc.hotspot_share)) {
+      dst = hotspot(fc);
+      break;
+    }
+  }
+  if (!dst.valid() || dst == src) {
+    do {
+      dst = sample_endpoint();
+    } while (dst == src);
+  }
+  out = FlowSpec{src, dst, sample_size(), t_};
+  ++generated_;
+  return true;
+}
+
+}  // namespace mifo::traffic

@@ -1,0 +1,112 @@
+// Open-loop internet-scale workload engine (docs/WORKLOAD.md).
+//
+// Streams an unbounded sequence of FlowSpecs into a long-running FluidSim:
+// Poisson arrivals (time-varying rate via Lewis–Shedler thinning),
+// heavy-tailed bounded-Pareto flow sizes, a gravity-model traffic matrix
+// over the top-connectivity stub ASes, diurnal load modulation, and
+// scripted flash-crowd / hotspot events. Everything draws from ONE seeded
+// Rng in pull order, so a (topology, WorkloadParams) pair reproduces the
+// exact flow stream byte-for-byte regardless of MIFO_THREADS or how far the
+// consumer reads ahead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/as_graph.hpp"
+#include "traffic/spec.hpp"
+
+namespace mifo::traffic {
+
+/// A scripted load surge: while active, the arrival rate is multiplied by
+/// `rate_multiplier` and a `hotspot_share` fraction of arrivals is steered
+/// to one hotspot destination (a flash crowd on one content source).
+struct FlashCrowd {
+  SimTime start = 0.0;
+  SimTime duration = 0.0;
+  /// Arrival-rate factor while active (>1 surge, <1 lull; must be > 0).
+  double rate_multiplier = 1.0;
+  /// Fraction of arrivals redirected to the hotspot endpoint [0, 1].
+  double hotspot_share = 0.0;
+  /// Which endpoint (by gravity-weight rank, 0 = heaviest) is the hotspot.
+  std::size_t hotspot_rank = 0;
+};
+
+struct WorkloadParams {
+  std::uint64_t seed = 1;
+  /// Base Poisson arrival rate, flows per second (before modulation).
+  double arrival_rate = 500.0;
+  /// Arrivals stop after this horizon (flows in flight keep draining).
+  SimTime duration = 60.0;
+
+  // Bounded-Pareto flow sizes: P(X > x) ~ x^-alpha on [size_min, size_max].
+  // alpha in (1, 2) gives the heavy-tailed mice/elephants mix of measured
+  // internet traffic (most bytes in a small fraction of flows).
+  double pareto_alpha = 1.3;
+  Bytes size_min = 4 * kMegaByte;
+  Bytes size_max = 4000 * kMegaByte;
+
+  /// Endpoints = the `max_endpoints` best-connected stub ASes
+  /// (rank_by_connectivity order); 0 = every stub AS. Bounding the set also
+  /// bounds the simulator's per-destination route-cache footprint.
+  std::size_t max_endpoints = 512;
+  /// Gravity-marginal skew: endpoint i (0-based rank) carries weight
+  /// (i+1)^-gravity_skew; pair (s, d) then attracts traffic proportional to
+  /// w_s * w_d (s != d) — the classic gravity traffic matrix.
+  double gravity_skew = 0.9;
+
+  /// Diurnal modulation: rate factor 1 + A * sin(2*pi*t/period), A in
+  /// [0, 1). 0 disables (flat load).
+  double diurnal_amplitude = 0.0;
+  SimTime diurnal_period = 60.0;
+
+  std::vector<FlashCrowd> flash_crowds;
+};
+
+class WorkloadEngine {
+ public:
+  WorkloadEngine(const topo::AsGraph& g, WorkloadParams p);
+
+  /// Pulls the next arrival (strictly increasing times). Returns false once
+  /// the horizon is exhausted; the stream then stays exhausted.
+  [[nodiscard]] bool next(FlowSpec& out);
+
+  /// Instantaneous arrival rate at time t (base * diurnal * flash crowds).
+  [[nodiscard]] double rate_at(SimTime t) const;
+  /// Analytic offered load at time t: rate_at(t) * mean flow size.
+  [[nodiscard]] double offered_load_mbps(SimTime t) const;
+  /// Mean bounded-Pareto flow size in megabits (closed form).
+  [[nodiscard]] double mean_flow_megabits() const;
+
+  /// Gravity endpoints in weight-rank order (index = FlashCrowd rank).
+  [[nodiscard]] const std::vector<AsId>& endpoints() const {
+    return endpoints_;
+  }
+  /// Normalized gravity marginals, aligned with endpoints().
+  [[nodiscard]] std::span<const double> marginals() const { return weights_; }
+  [[nodiscard]] AsId hotspot(const FlashCrowd& fc) const {
+    return endpoints_[fc.hotspot_rank];
+  }
+  [[nodiscard]] const WorkloadParams& params() const { return p_; }
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  [[nodiscard]] AsId sample_endpoint();
+  [[nodiscard]] Bytes sample_size();
+
+  WorkloadParams p_;
+  std::vector<AsId> endpoints_;
+  std::vector<double> weights_;  ///< normalized marginals, rank order
+  std::vector<double> cum_;      ///< cumulative weights for inverse-CDF draws
+  double lambda_max_ = 0.0;      ///< thinning envelope: rate_at(t) <= this
+  double mean_megabits_ = 0.0;
+  Rng rng_;
+  SimTime t_ = 0.0;
+  bool exhausted_ = false;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace mifo::traffic

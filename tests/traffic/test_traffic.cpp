@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
 
 #include "topo/generator.hpp"
 
@@ -128,6 +129,28 @@ TEST(PowerLawTraffic, ConsumersAreStubs) {
   for (const auto& f : flows) {
     EXPECT_EQ(g.info(f.dst).tier, 3) << "dst " << f.dst.value();
   }
+}
+
+TEST(UniformTraffic, ZeroDestPoolDrawsFromAllAses) {
+  // Regression: dest_pool = 0 means "unbounded", not "empty" — destinations
+  // must be drawn from the whole topology (with the route-cache memory
+  // implication documented in TrafficParams).
+  const auto g = topo_graph();
+  TrafficParams p;
+  p.num_flows = 20000;
+  p.dest_pool = 0;
+  p.seed = 3;
+  const auto flows = uniform_traffic(g, p);
+  ASSERT_EQ(flows.size(), p.num_flows);
+  std::unordered_set<std::uint32_t> dsts;
+  for (const auto& f : flows) {
+    ASSERT_NE(f.src, f.dst);
+    dsts.insert(f.dst.value());
+  }
+  // 20k uniform draws over the topology's ASes reach (nearly) all of them;
+  // a bounded pool would cap the count at dest_pool.
+  EXPECT_GT(dsts.size(), static_cast<std::size_t>(
+                             0.95 * static_cast<double>(g.num_ases())));
 }
 
 TEST(RandomDeployment, RatioRespected) {

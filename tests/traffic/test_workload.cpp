@@ -1,0 +1,282 @@
+// Seeded statistical tests for the open-loop workload engine: Poisson
+// interarrival moments, bounded-Pareto tail behaviour, gravity-marginal
+// consistency, diurnal/flash-crowd modulation, and bit-reproducibility of
+// the generated flow stream across thread settings.
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <numbers>
+#include <vector>
+
+#include "topo/generator.hpp"
+
+namespace mifo::traffic {
+namespace {
+
+topo::AsGraph test_graph() {
+  topo::GeneratorParams gp;
+  gp.num_ases = 400;
+  gp.num_tier1 = 6;
+  gp.seed = 11;
+  return topo::generate_topology(gp);
+}
+
+std::vector<FlowSpec> drain(WorkloadEngine& eng) {
+  std::vector<FlowSpec> out;
+  FlowSpec fs;
+  while (eng.next(fs)) out.push_back(fs);
+  return out;
+}
+
+TEST(WorkloadEngine, PoissonInterarrivalMeanAndVariance) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 3;
+  p.arrival_rate = 200.0;
+  p.duration = 60.0;  // ~12k arrivals
+  WorkloadEngine eng(g, p);
+  const auto flows = drain(eng);
+  ASSERT_GT(flows.size(), 10000u);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  SimTime prev = 0.0;
+  for (const auto& f : flows) {
+    const double d = f.arrival - prev;
+    ASSERT_GT(d, 0.0);  // strictly increasing arrivals
+    sum += d;
+    sum_sq += d * d;
+    prev = f.arrival;
+  }
+  const double n = static_cast<double>(flows.size());
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  // Exponential(lambda): mean 1/lambda, CV^2 = var/mean^2 = 1.
+  EXPECT_NEAR(mean, 1.0 / p.arrival_rate, 0.05 / p.arrival_rate);
+  EXPECT_NEAR(var / (mean * mean), 1.0, 0.1);
+}
+
+TEST(WorkloadEngine, BoundedParetoTailIndexAndQuantiles) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 5;
+  p.arrival_rate = 1000.0;
+  p.duration = 50.0;  // ~50k sizes
+  p.pareto_alpha = 1.3;
+  p.size_min = 1 * kMegaByte;
+  p.size_max = 10000 * kMegaByte;
+  WorkloadEngine eng(g, p);
+  const auto flows = drain(eng);
+  ASSERT_GT(flows.size(), 40000u);
+
+  std::vector<double> sizes;
+  sizes.reserve(flows.size());
+  for (const auto& f : flows) {
+    ASSERT_GE(f.size, p.size_min);
+    ASSERT_LE(f.size, p.size_max);
+    sizes.push_back(static_cast<double>(f.size));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double n = static_cast<double>(sizes.size());
+
+  // Quantiles must match the analytic bounded-Pareto inverse CDF.
+  const double lo = static_cast<double>(p.size_min);
+  const double hi = static_cast<double>(p.size_max);
+  const double a = p.pareto_alpha;
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    const double want =
+        lo / std::pow(1.0 - q * (1.0 - std::pow(lo / hi, a)), 1.0 / a);
+    const double got = sizes[static_cast<std::size_t>(q * (n - 1))];
+    EXPECT_NEAR(got / want, 1.0, 0.05) << "quantile " << q;
+  }
+
+  // Tail index from the empirical survival function between two points far
+  // from the truncation bound: S(x) ~ x^-alpha, so
+  // alpha ~= log(S(x1)/S(x2)) / log(x2/x1).
+  const auto survival = [&](double x) {
+    const auto it = std::upper_bound(sizes.begin(), sizes.end(), x);
+    return static_cast<double>(sizes.end() - it) / n;
+  };
+  const double x1 = 4.0 * lo;
+  const double x2 = 64.0 * lo;
+  const double alpha_hat =
+      std::log(survival(x1) / survival(x2)) / std::log(x2 / x1);
+  EXPECT_NEAR(alpha_hat, a, 0.15);
+}
+
+TEST(WorkloadEngine, GravityMarginalsMatchZipfWeights) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 9;
+  p.arrival_rate = 1000.0;
+  p.duration = 60.0;
+  p.max_endpoints = 32;
+  p.gravity_skew = 0.9;
+  WorkloadEngine eng(g, p);
+  const auto& eps = eng.endpoints();
+  ASSERT_EQ(eps.size(), 32u);
+  // Endpoints must be stub ASes in connectivity-rank order.
+  for (const AsId as : eps) EXPECT_EQ(g.info(as).tier, 3);
+
+  std::map<std::uint32_t, std::size_t> src_count;
+  std::map<std::uint32_t, std::size_t> dst_count;
+  const auto flows = drain(eng);
+  ASSERT_GT(flows.size(), 40000u);
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    ++src_count[f.src.value()];
+    ++dst_count[f.dst.value()];
+  }
+  const double n = static_cast<double>(flows.size());
+  const auto w = eng.marginals();
+  double wsum = 0.0;
+  for (const double x : w) wsum += x;
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+
+  // Row (source) marginals follow the normalized gravity weights directly;
+  // column (destination) marginals follow them conditioned on dst != src:
+  // P(dst=i) = w_i * (S - w_i/(1-w_i)) with S = sum_s w_s/(1-w_s). Check
+  // the heavy head where counts are statistically solid.
+  double cond_sum = 0.0;
+  for (const double x : w) cond_sum += x / (1.0 - x);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double ps = static_cast<double>(src_count[eps[i].value()]) / n;
+    const double pd = static_cast<double>(dst_count[eps[i].value()]) / n;
+    EXPECT_NEAR(ps / w[i], 1.0, 0.1) << "src rank " << i;
+    const double want_pd = w[i] * (cond_sum - w[i] / (1.0 - w[i]));
+    EXPECT_NEAR(pd / want_pd, 1.0, 0.1) << "dst rank " << i;
+  }
+}
+
+TEST(WorkloadEngine, DiurnalModulationShapesArrivals) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 13;
+  p.arrival_rate = 400.0;
+  p.duration = 120.0;
+  p.diurnal_amplitude = 0.6;
+  p.diurnal_period = 40.0;  // peak at t=10 (mod 40), trough at t=30
+  WorkloadEngine eng(g, p);
+
+  EXPECT_NEAR(eng.rate_at(10.0), 400.0 * 1.6, 1e-6);
+  EXPECT_NEAR(eng.rate_at(30.0), 400.0 * 0.4, 1e-6);
+  EXPECT_NEAR(eng.offered_load_mbps(10.0),
+              400.0 * 1.6 * eng.mean_flow_megabits(), 1e-6);
+
+  const auto flows = drain(eng);
+  std::size_t peak = 0;
+  std::size_t trough = 0;
+  for (const auto& f : flows) {
+    const double phase = std::fmod(f.arrival, p.diurnal_period);
+    if (phase >= 5.0 && phase < 15.0) ++peak;
+    if (phase >= 25.0 && phase < 35.0) ++trough;
+  }
+  // The windows average the sinusoid over a half-cycle quarter: the mean of
+  // sin over [pi/4, 3pi/4] is (2/pi)*sqrt(2) ~= 0.9003, so the expected
+  // arrival-count ratio is (1 + 0.6 m)/(1 - 0.6 m) ~= 3.35, not the
+  // instantaneous peak/trough ratio of 4.
+  const double m = 0.6 * 2.0 * std::numbers::sqrt2 / std::numbers::pi;
+  const double ratio = static_cast<double>(peak) / static_cast<double>(trough);
+  EXPECT_NEAR(ratio, (1.0 + m) / (1.0 - m), 0.35);
+}
+
+TEST(WorkloadEngine, FlashCrowdSurgesRateAndConcentratesHotspot) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 17;
+  p.arrival_rate = 300.0;
+  p.duration = 30.0;
+  FlashCrowd fc;
+  fc.start = 10.0;
+  fc.duration = 10.0;
+  fc.rate_multiplier = 3.0;
+  fc.hotspot_share = 0.5;
+  fc.hotspot_rank = 0;
+  p.flash_crowds.push_back(fc);
+  WorkloadEngine eng(g, p);
+  const AsId hot = eng.hotspot(fc);
+
+  EXPECT_NEAR(eng.rate_at(5.0), 300.0, 1e-9);
+  EXPECT_NEAR(eng.rate_at(15.0), 900.0, 1e-9);
+
+  const auto flows = drain(eng);
+  std::size_t before = 0;
+  std::size_t during = 0;
+  std::size_t hot_during = 0;
+  for (const auto& f : flows) {
+    if (f.arrival < 10.0) ++before;
+    if (f.arrival >= 10.0 && f.arrival < 20.0) {
+      ++during;
+      if (f.dst == hot) ++hot_during;
+    }
+  }
+  // 3x arrival surge…
+  const double surge =
+      static_cast<double>(during) / static_cast<double>(before);
+  EXPECT_NEAR(surge, 3.0, 0.45);
+  // …with about half the arrivals (plus the hotspot's own gravity share)
+  // aimed at the hotspot destination.
+  const double hot_frac =
+      static_cast<double>(hot_during) / static_cast<double>(during);
+  EXPECT_GT(hot_frac, 0.45);
+  EXPECT_LT(hot_frac, 0.75);
+}
+
+TEST(WorkloadEngine, SameSeedStreamsAreByteIdentical) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 21;
+  p.arrival_rate = 500.0;
+  p.duration = 10.0;
+  p.diurnal_amplitude = 0.3;
+  FlashCrowd fc;
+  fc.start = 2.0;
+  fc.duration = 3.0;
+  fc.rate_multiplier = 2.0;
+  fc.hotspot_share = 0.3;
+  p.flash_crowds.push_back(fc);
+
+  // The engine is a single-Rng pull generator: the stream must be
+  // bit-identical regardless of the MIFO_THREADS consumer setting (threads
+  // only parallelize the simulator's route-cache warmup).
+  ::setenv("MIFO_THREADS", "1", 1);
+  WorkloadEngine a(g, p);
+  const auto fa = drain(a);
+  ::setenv("MIFO_THREADS", "8", 1);
+  WorkloadEngine b(g, p);
+  const auto fb = drain(b);
+  ::unsetenv("MIFO_THREADS");
+
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].src, fb[i].src);
+    EXPECT_EQ(fa[i].dst, fb[i].dst);
+    EXPECT_EQ(fa[i].size, fb[i].size);
+    EXPECT_EQ(fa[i].arrival, fb[i].arrival);  // bitwise double equality
+  }
+  EXPECT_EQ(a.generated(), b.generated());
+}
+
+TEST(WorkloadEngine, ExhaustedStreamStaysExhausted) {
+  const auto g = test_graph();
+  WorkloadParams p;
+  p.seed = 1;
+  p.arrival_rate = 50.0;
+  p.duration = 1.0;
+  WorkloadEngine eng(g, p);
+  FlowSpec fs;
+  while (eng.next(fs)) {
+    EXPECT_LE(fs.arrival, p.duration);
+  }
+  EXPECT_TRUE(eng.exhausted());
+  EXPECT_FALSE(eng.next(fs));
+  EXPECT_FALSE(eng.next(fs));
+}
+
+}  // namespace
+}  // namespace mifo::traffic
