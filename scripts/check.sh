@@ -200,13 +200,35 @@ assert c["total_cache_hits"] > c["total_dirty_destinations"], \
 spans = c["spans"]
 assert spans and all({"dirty_destinations", "states_explored",
                       "cache_hits"} <= sp.keys() for sp in spans)
+# The delta routing table mirrored the churn and the retained from-scratch
+# route oracle agreed with every published segment at every snapshot.
+assert c["route_events"] > 0, "no routing-plane events in a churn run"
+assert c["route_differential_mismatches"] == 0, \
+    c["route_differential_mismatches"]
+assert c["total_route_recomputed"] > 0
+span_recomputed = sum(sp["route_recomputed"] for sp in spans)
+span_patched = sum(sp["route_patched"] for sp in spans)
+assert span_recomputed == c["total_route_recomputed"]
+assert span_patched == c["total_route_patched"]
 print(f"chaos differential OK: {c['events_applied']} events, "
       f"{c['checks_run']} snapshots verified both ways, 0 mismatches, "
       f"{c['total_cache_hits']} cache hits vs "
-      f"{c['total_dirty_destinations']} re-proofs")
+      f"{c['total_dirty_destinations']} re-proofs, "
+      f"{c['route_events']} route events delta-maintained clean")
 PY
+# Negative control for the route oracle: a planted stale route segment
+# (delta recompute skipped, stats still claim the work) is invisible to the
+# loop/valley/lint provers — only the from-scratch route differential can
+# catch it, and it must (exit 2, route-differential counterexample).
+if stale_out="$(MIFO_ARTIFACT_DIR=- "$build_dir"/tools/mifo-chaos --gen \
+    --ases 36 --seed 5 --duration 0.8 --flows 24 --mutate-stale-route)"; then
+  echo "mifo-chaos missed the planted stale route segment"
+  exit 1
+fi
+grep -q "route-differential" <<< "$stale_out"
+grep -q "verdict: UNSAFE" <<< "$stale_out"
 echo "chaos OK: randomized churn proved safe, reproducible, planted" \
-     "violation caught, incremental differential clean"
+     "violation caught, incremental differential clean, stale route caught"
 
 echo "=== mifo-trace: flight-recorder rendering (docs/OBSERVABILITY.md) ==="
 # --check proves the merged timeline is epoch-monotone and every span
@@ -309,6 +331,85 @@ print(f"incremental verifier OK: {len(arms)} arms differential-clean, "
       f"{arms['withdraw']['reduction']:.0f}x fewer states than full")
 PY
 
+echo "=== delta routes: churn differential + recompute-reduction gate ==="
+# Reduced-scale run of bench_route_delta (the committed
+# BENCH_bench_route_delta.json carries the 1269-router figures): the seeded
+# churn mix must stay oracle-identical (0 differential mismatches), the
+# per-event accounting must partition the destination universe, and the
+# delta engine must re-run the decision process >=10x less often than a
+# rebuild-everything policy.
+route_env=(MIFO_ARTIFACT_DIR="$artifact_dir" MIFO_TOPO_N=120
+           MIFO_DEST_POOL=32 MIFO_EVENTS=120)
+env "${route_env[@]}" "$build_dir"/bench/bench_route_delta \
+  --benchmark_filter=none > /dev/null
+python3 - "$artifact_dir/route_delta.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+assert a["schema"] == "mifo.run_artifact.v1", a.get("schema")
+assert a["bench"] == "route_delta"
+assert {"topo_n", "routers", "destinations", "events", "seed"} <= \
+    a["scale"].keys()
+assert a["scale"]["routers"] > 0
+c = a["churn"]
+assert c["events_applied"] > 0
+touched = c["destinations_recomputed"] + c["destinations_patched"]
+assert touched + c["destinations_kept"] == \
+    c["events_applied"] * a["scale"]["destinations"]
+assert c["full_rebuild_work"] == \
+    c["events_applied"] * a["scale"]["destinations"]
+assert c["work_reduction"] >= 10, c["work_reduction"]
+assert c["differential_checks"] > 0
+assert c["differential_mismatches"] == 0, c["differential_mismatches"]
+arms = {arm["name"]: arm for arm in a["arms"]}
+assert {"withdraw", "reannounce", "session_down", "session_up"} == \
+    arms.keys(), sorted(arms)
+for name, arm in arms.items():
+    assert {"events", "recomputed", "patched", "kept"} <= arm.keys(), name
+# Prefix events touch exactly their origin destination.
+for name in ("withdraw", "reannounce"):
+    assert arms[name]["recomputed"] == arms[name]["events"], name
+    assert arms[name]["patched"] == 0, name
+assert "timing" in a  # stripped before the byte-reproducibility diff
+print(f"route delta OK: {c['events_applied']} events, "
+      f"{c['work_reduction']:.1f}x fewer decision runs, "
+      f"{c['destinations_patched']} view patches, "
+      f"{c['differential_checks']} oracle sweeps clean")
+PY
+
+# Same-seed byte-reproducibility (timing stripped, as for steady_state).
+mv "$artifact_dir/route_delta.json" "$artifact_dir/route_delta.first.json"
+env "${route_env[@]}" "$build_dir"/bench/bench_route_delta \
+  --benchmark_filter=none > /dev/null
+for f in route_delta.first.json route_delta.json; do
+  python3 - "$artifact_dir/$f" "$artifact_dir/$f.stripped" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+del a["timing"]
+with open(sys.argv[2], "w") as f:
+    json.dump(a, f, indent=1, sort_keys=True)
+PY
+done
+diff "$artifact_dir/route_delta.first.json.stripped" \
+     "$artifact_dir/route_delta.json.stripped"
+echo "route delta artifact byte-reproducible (timing stripped)"
+
+# The committed full-scale benchmark figures must back the headline claim:
+# >=10x recompute reduction with a clean oracle at the 1269-router scale.
+python3 - BENCH_bench_route_delta.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    a = json.load(f)
+rows = {b["name"].split("/")[0]: b for b in a["benchmarks"]}
+gate = rows["BM_ChurnWorkReduction"]
+assert gate["work_reduction"] >= 10, gate["work_reduction"]
+assert gate["differential_mismatches"] == 0, gate
+assert gate["events"] > 0 and gate["destinations"] > 0
+print(f"committed route-delta figures OK: {gate['work_reduction']:.1f}x "
+      f"reduction over {gate['events']:.0f} events, 0 mismatches")
+PY
+
 echo "=== steady-state: open-loop workload + incremental max-min ==="
 # Reduced-scale run of bench_steady_state (the committed
 # BENCH_bench_steady_state.json carries the 12k-concurrent figures): the
@@ -375,14 +476,19 @@ echo "steady-state artifact byte-reproducible (timing stripped)"
 echo "=== clang-tidy (scripts/lint.sh) ==="
 scripts/lint.sh "$build_dir"
 
-echo "=== TSan: thread-pool + fluid-sim + sharded-plane tests (${tsan_dir}) ==="
+echo "=== TSan: thread-pool + fluid-sim + sharded-plane + delta-route tests (${tsan_dir}) ==="
 cmake -B "$tsan_dir" -S . -DMIFO_SANITIZE=thread
 cmake --build "$tsan_dir" -j "$jobs" \
-  --target test_common test_sim test_dataplane test_integration
+  --target test_common test_sim test_dataplane test_integration test_bgp
 "$tsan_dir"/tests/test_common --gtest_filter='ThreadPool.*:ParallelFor.*:GlobalPool.*:SpscRing.*'
 "$tsan_dir"/tests/test_sim --gtest_filter='FluidSim.*'
 "$tsan_dir"/tests/test_dataplane --gtest_filter='ShardedNetwork.*'
 "$tsan_dir"/tests/test_integration --gtest_filter='ShardedDifferential.*:ShardedFlightRecorder.*'
+# scripts/tsan.supp masks libstdc++'s _Sp_atomic spinlock internals (a
+# known TSan happens-before blind spot); our delta-table code stays
+# instrumented.
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+  "$tsan_dir"/tests/test_bgp --gtest_filter='RouteDeltaEpochSwap.*'
 
 echo "=== UBSan: full test suite (${ubsan_dir}) ==="
 # -fno-sanitize-recover=all is wired in by the CMakeLists, so any UB aborts

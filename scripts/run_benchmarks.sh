@@ -22,6 +22,7 @@ benches=(
   bench_fig5_throughput_deployment
   bench_sharded_plane
   bench_verify_incremental
+  bench_route_delta
   bench_steady_state
 )
 

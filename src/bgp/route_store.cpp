@@ -42,7 +42,11 @@ bool RouteStore::on_best_path(AsId as, AsId of) const {
 
 std::optional<Route> RouteStore::rib_from(AsId as, AsId neighbor) const {
   const auto rel_to_as = g_->rel(as, neighbor);  // what neighbor is to `as`
-  MIFO_EXPECTS(rel_to_as.has_value());
+  // Non-adjacent (on the graph this store was built against) exports
+  // nothing. Delta segments (bgp/delta.hpp) may outlive a session toggle,
+  // so a reader probing the toggled edge through a stale segment must get
+  // the same nullopt a fresh rebuild would produce, not an abort.
+  if (!rel_to_as.has_value()) return std::nullopt;
   const Route& offer = best_[neighbor.value()];
   if (!offer.valid()) return std::nullopt;
   if (!may_export(offer.cls, topo::reverse(*rel_to_as))) return std::nullopt;
@@ -90,7 +94,7 @@ void RouteStore::build(const DestRoutes& routes) {
       }
     }
   }
-  if (n > 0) {
+  if (n > 0 && best_[dest_.value()].valid()) {
     std::uint32_t timer = 0;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
     stack.reserve(64);
@@ -109,6 +113,10 @@ void RouteStore::build(const DestRoutes& routes) {
       }
     }
     MIFO_ASSERT(timer == reachable_);  // every reachable AS visited once
+  } else {
+    // Withdrawn-prefix snapshot (bgp/delta.hpp): the origin itself has no
+    // route, so nothing may be reachable and every view stays empty.
+    MIFO_ASSERT(reachable_ == 0);
   }
 
   // ---- Path CSR: one chain walk per reachable AS. ------------------------

@@ -33,7 +33,9 @@ class RouteStore {
   /// Computes `compute_routes(g, dest)` and flattens it.
   RouteStore(const topo::AsGraph& g, AsId dest);
 
-  /// Flattens an already-computed `DestRoutes` (the oracle input form).
+  /// Flattens an already-computed `DestRoutes` (the oracle input form). An
+  /// all-invalid `DestRoutes` represents a withdrawn prefix (bgp/delta.hpp):
+  /// the store builds with every view empty and num_reachable() == 0.
   RouteStore(const topo::AsGraph& g, const DestRoutes& routes);
 
   [[nodiscard]] AsId dest() const { return dest_; }
@@ -52,7 +54,9 @@ class RouteStore {
   [[nodiscard]] std::span<const Route> rib(AsId as) const;
 
   /// The route `as` holds from `neighbor` (export rule + loop poisoning) —
-  /// identical to `rib_route_from`, but O(1). `neighbor` must be adjacent.
+  /// identical to `rib_route_from`, but O(1). nullopt when the two are not
+  /// adjacent on the graph this store was built against (delta segments may
+  /// outlive a session toggle; see bgp/delta.hpp).
   [[nodiscard]] std::optional<Route> rib_from(AsId as, AsId neighbor) const;
 
   /// The default forwarding path from `src` to the destination, including

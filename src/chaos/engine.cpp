@@ -54,6 +54,17 @@ obs::Json Report::to_json() const {
                static_cast<std::uint64_t>(total_dirty_destinations)));
   root.set("total_cache_hits",
            obs::Json::num(static_cast<std::uint64_t>(total_cache_hits)));
+  root.set("route_events",
+           obs::Json::num(static_cast<std::uint64_t>(route_events)));
+  root.set("total_route_recomputed",
+           obs::Json::num(static_cast<std::uint64_t>(total_route_recomputed)));
+  root.set("total_route_patched",
+           obs::Json::num(static_cast<std::uint64_t>(total_route_patched)));
+  root.set("total_route_unchanged",
+           obs::Json::num(static_cast<std::uint64_t>(total_route_unchanged)));
+  root.set("route_differential_mismatches",
+           obs::Json::num(
+               static_cast<std::uint64_t>(route_differential_mismatches)));
 
   obs::Json events = obs::Json::array();
   for (const AppliedEvent& ae : log) {
@@ -104,6 +115,12 @@ obs::Json Report::to_json() const {
           obs::Json::num(static_cast<std::uint64_t>(sp.states_explored)));
     j.set("cache_hits",
           obs::Json::num(static_cast<std::uint64_t>(sp.cache_hits)));
+    j.set("route_recomputed",
+          obs::Json::num(static_cast<std::uint64_t>(sp.route_recomputed)));
+    j.set("route_patched",
+          obs::Json::num(static_cast<std::uint64_t>(sp.route_patched)));
+    j.set("route_unchanged",
+          obs::Json::num(static_cast<std::uint64_t>(sp.route_unchanged)));
     span_arr.push(std::move(j));
   }
   root.set("spans", std::move(span_arr));
@@ -299,6 +316,19 @@ bool Engine::snapshot(Report& report, SimTime t) {
                 (full.loop_free ? "1" : "0") + ")"});
         clean = false;
       }
+      // Route-plane oracle: every delta-maintained CSR segment must be
+      // element-identical to a from-scratch Gao-Rexford rebuild on the
+      // current masked graph (withdrawn prefixes compare against the
+      // all-invalid store). This is what catches plant_stale_route.
+      for (const AsId d : route_ctl_.delta().differential_check()) {
+        ++report.route_differential_mismatches;
+        report.violations.push_back(Violation{
+            t, last_event_index_,
+            "route-differential: delta segment for AS" +
+                std::to_string(d.value()) +
+                " diverged from from-scratch rebuild"});
+        clean = false;
+      }
     }
   }
   if (shard_) {
@@ -357,6 +387,20 @@ void Engine::set_link_state(AsId a, AsId b, bool down, std::string& detail) {
         net.set_port_up(eg->router, eg->port, true);
       }
     }
+  }
+  // The delta routing table models the BGP session, which is down while
+  // *any* fault holds the adjacency down — so it sees only the undirected
+  // 0 <-> 1 depth transitions, composing with overlapping faults the same
+  // way the per-port depth map does.
+  const AsId lo = a < b ? a : b;
+  const AsId hi = a < b ? b : a;
+  const std::uint64_t akey =
+      (static_cast<std::uint64_t>(lo.value()) << 32) | hi.value();
+  int& adepth = adj_down_depth_[akey];
+  if (down) {
+    if (adepth++ == 0) route_ctl_.session_down(a, b);
+  } else if (adepth > 0 && --adepth == 0) {
+    route_ctl_.session_up(a, b);
   }
   detail = std::string(down ? "down" : "up") + " r" +
            std::to_string(eg_ab->router.value()) + ":p" +
@@ -527,6 +571,58 @@ bool Engine::plant_valley(std::string& detail) {
   return true;
 }
 
+bool Engine::plant_stale_route(std::string& detail) {
+  // Negative control for the route differential oracle — the routing-plane
+  // sibling of plant_valley: withdraw a live origin but make the delta
+  // table skip that destination's republish, leaving a stale CSR segment.
+  // The speakers and FIBs reconverge honestly, so the loop/valley/lint
+  // provers stay clean; only the Differential snapshot's from-scratch
+  // Gao-Rexford rebuild can expose the divergence.
+  if (cfg_.verify_mode != VerifyMode::Differential) {
+    detail = "requires differential verify mode";
+    return false;
+  }
+  for (const auto& [addr, as] : owners_) {
+    if (route_ctl_.withdrawn(as) || !route_ctl_.delta().tracks(as)) continue;
+    route_ctl_.delta().plant_stale(as);
+    const bool ok = route_ctl_.withdraw(as);
+    MIFO_ASSERT(ok);
+    planted_violation_ = true;
+    detail = "stale segment planted for AS" + std::to_string(as.value()) +
+             " (origin withdrawn, republish skipped)";
+    return true;
+  }
+  detail = "no live tracked origin to withdraw";
+  return false;
+}
+
+void Engine::note_route_delta(Report& report, Span& sp) {
+  const std::size_t total = route_ctl_.delta_events();
+  if (total == seen_route_events_) return;  // no routing-plane effect
+  seen_route_events_ = total;
+  const bgp::DeltaStats& st = route_ctl_.last_delta_stats();
+  if (!st.applied) return;
+  sp.route_recomputed = st.recomputed;
+  sp.route_patched = st.patched;
+  sp.route_unchanged = st.unchanged;
+  ++report.route_events;
+  report.total_route_recomputed += st.recomputed;
+  report.total_route_patched += st.patched;
+  report.total_route_unchanged += st.unchanged;
+  if (cfg_.verify_mode != VerifyMode::Full) {
+    // The touched set (recomputed + view-patched) doubles as the verifier's
+    // routing dirty set: every destination whose published segment the
+    // delta engine swapped is re-proved at the next snapshot, even when its
+    // FIB rows happened not to move (the RoutingChange -> pfx row of the
+    // ChangeSet mapping).
+    for (const AsId dest : st.touched_dests) {
+      for (const auto& [addr, as] : owners_) {
+        if (as == dest) changes_.note_routing(addr);
+      }
+    }
+  }
+}
+
 std::pair<bool, std::string> Engine::apply(const Event& ev) {
   std::string detail;
   switch (ev.kind) {
@@ -569,6 +665,10 @@ std::pair<bool, std::string> Engine::apply(const Event& ev) {
       return {true, detail};
     case EventKind::PlantValley: {
       const bool ok = plant_valley(detail);
+      return {ok, detail};
+    }
+    case EventKind::PlantStaleRoute: {
+      const bool ok = plant_stale_route(detail);
       return {ok, detail};
     }
   }
@@ -663,6 +763,9 @@ Report Engine::run(const Plan& plan) {
     report.log.push_back(std::move(ae));
     ++ei;
     if (applied) {
+      // Route-delta accounting must precede the immediate snapshot so the
+      // recompute set lands in the verifier's dirty set for this check.
+      note_route_delta(report, report.spans.back());
       report.log.back().clean_immediate = snapshot(report, ev.t);
       // The immediate snapshot's verify cost is this event's footprint.
       Span& sp = report.spans.back();

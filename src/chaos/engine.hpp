@@ -108,6 +108,13 @@ struct Span {
   std::size_t dirty_destinations = 0;
   std::size_t states_explored = 0;
   std::size_t cache_hits = 0;
+  /// Delta route-recompute footprint of the event (bgp::DeltaStats): how
+  /// many destinations the routing plane actually re-ran Gao–Rexford for,
+  /// view-patched without a decision run, or kept pointer-identical. All 0
+  /// for events with no routing effect.
+  std::size_t route_recomputed = 0;
+  std::size_t route_patched = 0;
+  std::size_t route_unchanged = 0;
 };
 
 struct Report {
@@ -128,6 +135,18 @@ struct Report {
   /// under VerifyMode::Full).
   std::size_t total_dirty_destinations = 0;
   std::size_t total_cache_hits = 0;
+  /// Delta route-recompute accounting across all applied events
+  /// (DESIGN.md §5.1b): events with a routing effect, destinations
+  /// recomputed, destinations view-patched, destinations kept
+  /// pointer-identical.
+  std::size_t route_events = 0;
+  std::size_t total_route_recomputed = 0;
+  std::size_t total_route_patched = 0;
+  std::size_t total_route_unchanged = 0;
+  /// Differential mode: destinations whose delta-maintained segment
+  /// diverged from a from-scratch rebuild at some snapshot (0 on a correct
+  /// implementation; mismatches land in `violations`, force safe = false).
+  std::size_t route_differential_mismatches = 0;
 
   /// The `chaos` section of the extended mifo.run_artifact.v1 schema:
   /// events, violations, spans and the per-failure-class recovery-latency
@@ -178,6 +197,10 @@ class Engine {
   void freeze_as(AsId as, bool freeze, std::string& detail);
   void start_burst(const Event& ev, std::string& detail);
   bool plant_valley(std::string& detail);
+  bool plant_stale_route(std::string& detail);
+  /// Feeds the latest delta-recompute set into the verification dirty set
+  /// and the running report totals; fills the span's route columns.
+  void note_route_delta(Report& report, Span& sp);
 
   /// Verification snapshot at the current time; updates report/metrics.
   bool snapshot(Report& report, SimTime t);
@@ -209,6 +232,13 @@ class Engine {
   std::unordered_map<std::uint64_t, Mbps> nominal_rate_;
   std::vector<PendingRecovery> pending_recoveries_;
   std::vector<PendingImpact> pending_impacts_;
+  /// Down-depth per undirected adjacency: the delta routing table sees a
+  /// session event only on the 0 <-> 1 transitions, so overlapping faults
+  /// on one link compose the same way they do for ports.
+  std::unordered_map<std::uint64_t, int> adj_down_depth_;
+  /// High-water mark of route_ctl_.delta_events() — how note_route_delta
+  /// tells whether the event just applied had any routing-plane effect.
+  std::size_t seen_route_events_ = 0;
   std::size_t last_event_index_ = 0;
   bool planted_violation_ = false;
 

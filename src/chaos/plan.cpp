@@ -35,6 +35,8 @@ const char* to_string(EventKind k) {
       return "burst";
     case EventKind::PlantValley:
       return "plant-valley";
+    case EventKind::PlantStaleRoute:
+      return "plant-stale-route";
   }
   return "?";
 }
@@ -90,6 +92,9 @@ std::string Event::to_string() const {
       break;
     case EventKind::PlantValley:
       std::snprintf(buf, sizeof(buf), "at %.6f plant-valley", t);
+      break;
+    case EventKind::PlantStaleRoute:
+      std::snprintf(buf, sizeof(buf), "at %.6f plant-stale-route", t);
       break;
   }
   return buf;
@@ -155,6 +160,8 @@ bool parse_event(std::istringstream& ls, SimTime t, Event& ev,
     ev.b = AsId(b);
   } else if (word == "plant-valley") {
     ev.kind = EventKind::PlantValley;
+  } else if (word == "plant-stale-route") {
+    ev.kind = EventKind::PlantStaleRoute;
   } else {
     error = "unknown event kind: " + word;
     return false;

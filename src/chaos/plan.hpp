@@ -34,6 +34,9 @@ enum class EventKind : std::uint8_t {
   RouterRestart,  ///< routers come back with alt state lost
   Burst,        ///< `count` congestion flows of `value` MB from AS a to b
   PlantValley,  ///< plant an Eq.3-violating deflection ring (negative test)
+  PlantStaleRoute,  ///< withdraw an origin but skip its delta route
+                    ///< recompute: a stale CSR segment the differential
+                    ///< verify mode must catch (negative test)
 };
 
 [[nodiscard]] const char* to_string(EventKind k);
@@ -75,6 +78,7 @@ struct Plan {
 ///   at T freeze A | restart A
 ///   at T burst SRC DST COUNT SIZE_MB
 ///   at T plant-valley
+///   at T plant-stale-route
 ///   every START PERIOD <event...>          (expanded until `duration`)
 ///   fail T mttr M link A B                 (link-down @T, link-up @T+M)
 ///   fail T mttr M prefix A                 (withdraw / reannounce)

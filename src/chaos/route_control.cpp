@@ -10,8 +10,33 @@ RouteController::RouteController(testbed::Emulation& em,
                                  const topo::AsGraph& g)
     : em_(&em), g_(&g) {
   sessions_ = std::make_unique<bgpd::SessionNetwork>(g);
-  for (const auto& att : em.hosts) sessions_->originate(att.as);
+  std::vector<AsId> dests;
+  for (const auto& att : em.hosts) {
+    sessions_->originate(att.as);
+    dests.push_back(att.as);
+  }
   messages_ += sessions_->run_to_convergence();
+  delta_ = std::make_unique<bgp::DeltaRoutingTable>(g, std::move(dests));
+}
+
+void RouteController::apply_delta(const bgp::RouteEvent& ev) {
+  last_delta_ = delta_->apply(ev);
+  if (last_delta_.applied) {
+    ++delta_events_;
+    delta_recomputed_ += last_delta_.recomputed;
+    delta_patched_ += last_delta_.patched;
+    delta_unchanged_ += last_delta_.unchanged;
+  }
+}
+
+bool RouteController::session_down(AsId a, AsId b) {
+  apply_delta(bgp::RouteEvent::session_down(a, b));
+  return last_delta_.applied;
+}
+
+bool RouteController::session_up(AsId a, AsId b) {
+  apply_delta(bgp::RouteEvent::session_up(a, b));
+  return last_delta_.applied;
 }
 
 bool RouteController::withdrawn(AsId owner) const {
@@ -27,6 +52,7 @@ bool RouteController::withdraw(AsId owner) {
 
   sessions_->withdraw(owner);
   messages_ += sessions_->run_to_convergence();
+  apply_delta(bgp::RouteEvent::withdraw(owner));
   withdrawn_.push_back(owner);
   for (const auto& att : em_->hosts) {
     if (att.as == owner) evict_prefix(att);
@@ -40,6 +66,7 @@ bool RouteController::reannounce(AsId owner) {
 
   sessions_->originate(owner);
   messages_ += sessions_->run_to_convergence();
+  apply_delta(bgp::RouteEvent::reannounce(owner));
   withdrawn_.erase(it);
   for (const auto& att : em_->hosts) {
     if (att.as == owner) install_prefix(att);

@@ -8,11 +8,19 @@
 // Speakers, FIFO message processing) beside the packet plane and replays its
 // converged state into the routers' FIBs and the MIFO daemons' prefix
 // knowledge after every change.
+//
+// Beside the speakers the controller maintains a bgp::DeltaRoutingTable over
+// the prefix-owning destinations (DESIGN.md §5.1b): every withdraw /
+// reannounce / session event is mirrored into it as a delta recompute of
+// only the affected destinations, with the from-scratch rebuild retained as
+// the differential oracle. Per-event DeltaStats feed the chaos engine's
+// recovery spans and the verifier's dirty sets.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "bgp/delta.hpp"
 #include "bgpd/session_network.hpp"
 #include "testbed/emulation.hpp"
 #include "topo/as_graph.hpp"
@@ -44,15 +52,48 @@ class RouteController {
     return *sessions_;
   }
 
+  /// Marks the eBGP session `a`–`b` down (up) in the delta routing table,
+  /// recomputing only the destinations whose best tree the edge carries
+  /// (RIB-row-only changes are view-patched without a decision run). The
+  /// packet plane's port state is the chaos engine's business; this tracks
+  /// the routing-plane view. Returns false when the event is a no-op (not
+  /// adjacent, already in that state).
+  bool session_down(AsId a, AsId b);
+  bool session_up(AsId a, AsId b);
+
+  /// The delta-maintained per-destination route segments (DESIGN.md §5.1b).
+  [[nodiscard]] const bgp::DeltaRoutingTable& delta() const { return *delta_; }
+  [[nodiscard]] bgp::DeltaRoutingTable& delta() { return *delta_; }
+
+  /// Stats of the most recent applied delta event, and running totals.
+  [[nodiscard]] const bgp::DeltaStats& last_delta_stats() const {
+    return last_delta_;
+  }
+  [[nodiscard]] std::size_t delta_events() const { return delta_events_; }
+  [[nodiscard]] std::size_t delta_recomputed() const {
+    return delta_recomputed_;
+  }
+  [[nodiscard]] std::size_t delta_patched() const { return delta_patched_; }
+  [[nodiscard]] std::size_t delta_unchanged() const {
+    return delta_unchanged_;
+  }
+
  private:
   void install_prefix(const testbed::HostAttachment& att);
   void evict_prefix(const testbed::HostAttachment& att);
+  void apply_delta(const bgp::RouteEvent& ev);
 
   testbed::Emulation* em_;
   const topo::AsGraph* g_;
   std::unique_ptr<bgpd::SessionNetwork> sessions_;
+  std::unique_ptr<bgp::DeltaRoutingTable> delta_;
   std::vector<AsId> withdrawn_;
   std::size_t messages_ = 0;
+  bgp::DeltaStats last_delta_;
+  std::size_t delta_events_ = 0;
+  std::size_t delta_recomputed_ = 0;
+  std::size_t delta_patched_ = 0;
+  std::size_t delta_unchanged_ = 0;
 };
 
 }  // namespace mifo::chaos

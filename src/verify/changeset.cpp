@@ -40,14 +40,16 @@ void ChangeSet::clear() {
   ports_.clear();
   configs_.clear();
   daemons_.clear();
+  routing_.clear();
 }
 
 std::vector<dp::Addr> ChangeSet::dirty_destinations(
     std::span<const dp::Router> routers) const {
   std::vector<dp::Addr> dirty;
-  dirty.reserve(fib_.size() + daemons_.size());
+  dirty.reserve(fib_.size() + daemons_.size() + routing_.size());
   for (const auto& c : fib_) dirty.push_back(c.dst);
   for (const auto& c : daemons_) dirty.push_back(c.prefix);
+  for (const dp::Addr prefix : routing_) dirty.push_back(prefix);
   for (const auto& c : configs_) add_router_fib_dests(routers, c.router, dirty);
   sort_unique(dirty);
   return dirty;
@@ -64,7 +66,8 @@ std::vector<dp::Addr> ChangeSet::port_dirty_destinations(
 std::string ChangeSet::to_string() const {
   std::ostringstream os;
   os << "fib=" << fib_.size() << " ports=" << ports_.size()
-     << " configs=" << configs_.size() << " daemons=" << daemons_.size();
+     << " configs=" << configs_.size() << " daemons=" << daemons_.size()
+     << " routing=" << routing_.size();
   return os.str();
 }
 

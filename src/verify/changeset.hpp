@@ -21,6 +21,10 @@
 //   PortChange(r, p)       -> nothing for loop/valley/lint proofs; every dst
 //                             in r's FIB for the blackhole analysis, the one
 //                             property that deliberately reads Port::up.
+//   RoutingChange(pfx)     -> pfx. Fed straight from the delta route
+//                             engine's recompute set (bgp::DeltaStats):
+//                             a destination whose route segment was swapped
+//                             is dirty even before any FIB write lands.
 //
 // A ChangeSet accumulates drained dp::ChangeLog records between quiescent
 // points and resolves them against the current router snapshot on demand.
@@ -48,14 +52,18 @@ class ChangeSet {
   void note_daemon(AsId as, dp::Addr prefix) {
     daemons_.push_back({as, prefix});
   }
+  /// A delta route recompute touched `prefix`'s segment (no ChangeLog
+  /// record type: the routing plane sits above the data-plane log).
+  void note_routing(dp::Addr prefix) { routing_.push_back(prefix); }
 
   void clear();
   [[nodiscard]] bool empty() const {
     return fib_.empty() && ports_.empty() && configs_.empty() &&
-           daemons_.empty();
+           daemons_.empty() && routing_.empty();
   }
   [[nodiscard]] std::size_t size() const {
-    return fib_.size() + ports_.size() + configs_.size() + daemons_.size();
+    return fib_.size() + ports_.size() + configs_.size() + daemons_.size() +
+           routing_.size();
   }
 
   /// Destinations whose loop/valley proofs and lints the recorded changes
@@ -73,6 +81,7 @@ class ChangeSet {
   [[nodiscard]] std::size_t port_changes() const { return ports_.size(); }
   [[nodiscard]] std::size_t config_changes() const { return configs_.size(); }
   [[nodiscard]] std::size_t daemon_changes() const { return daemons_.size(); }
+  [[nodiscard]] std::size_t routing_changes() const { return routing_.size(); }
 
   /// One-line summary for logs: "fib=3 ports=1 configs=0 daemons=1".
   [[nodiscard]] std::string to_string() const;
@@ -82,6 +91,7 @@ class ChangeSet {
   std::vector<dp::ChangeLog::PortChange> ports_;
   std::vector<dp::ChangeLog::ConfigChange> configs_;
   std::vector<dp::ChangeLog::DaemonChange> daemons_;
+  std::vector<dp::Addr> routing_;
 };
 
 }  // namespace mifo::verify

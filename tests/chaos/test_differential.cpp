@@ -82,6 +82,15 @@ TEST(ChaosDifferential, HealthyChurnHasZeroMismatches) {
   // The proof cache earned its keep: most snapshots re-prove a strict
   // subset of destinations.
   EXPECT_GT(report.total_cache_hits, 0u);
+  // The delta routing table mirrored the link and prefix churn (4 of the
+  // 6 applied events have a routing-plane effect) and every snapshot's
+  // from-scratch route rebuild agreed with the delta-maintained segments.
+  EXPECT_EQ(report.route_events, 4u);
+  EXPECT_EQ(report.route_differential_mismatches, 0u);
+  EXPECT_GT(report.total_route_recomputed, 0u);
+  std::size_t span_recomputed = 0;
+  for (const auto& sp : report.spans) span_recomputed += sp.route_recomputed;
+  EXPECT_EQ(span_recomputed, report.total_route_recomputed);
 }
 
 TEST(ChaosDifferential, IncrementalModeAgreesWithFullOnTheSamePlan) {
@@ -136,6 +145,49 @@ TEST(ChaosDifferential, PlantedValleyIsCaughtWithoutDivergence) {
   EXPECT_FALSE(report.safe);
   EXPECT_EQ(report.differential_mismatches, 0u);
   EXPECT_GT(report.violations.size(), 0u);
+}
+
+TEST(ChaosDifferential, PlantedStaleRouteIsCaughtByRouteOracle) {
+  Fixture f = Fixture::make(9);
+  const Plan plan = parse_or_die(
+      "duration 0.5\n"
+      "at 0.1 plant-stale-route\n");
+
+  EngineConfig ec;
+  ec.verify_mode = VerifyMode::Differential;
+  Engine engine(f.em, f.g, ec);
+  const Report report = engine.run(plan);
+
+  // The data plane reconverged honestly (the withdraw really happened), so
+  // the loop/valley/lint provers and the incremental-vs-full cross-check
+  // stay clean: ONLY the route differential oracle can catch the stale
+  // segment. Exactly that counter must fire.
+  EXPECT_FALSE(report.safe);
+  EXPECT_EQ(report.differential_mismatches, 0u);
+  EXPECT_GT(report.route_differential_mismatches, 0u);
+  bool route_violation = false;
+  for (const auto& v : report.violations) {
+    route_violation |= v.description.find("route-differential") == 0;
+  }
+  EXPECT_TRUE(route_violation);
+}
+
+TEST(ChaosDifferential, PlantStaleRouteRefusedOutsideDifferentialMode) {
+  Fixture f = Fixture::make(9);
+  const Plan plan = parse_or_die(
+      "duration 0.4\n"
+      "at 0.1 plant-stale-route\n");
+
+  EngineConfig ec;
+  ec.verify_mode = VerifyMode::Incremental;
+  Engine engine(f.em, f.g, ec);
+  const Report report = engine.run(plan);
+
+  // No mode can catch the mutation without the route oracle, so the event
+  // must refuse to apply rather than leave an undetectable stale segment.
+  EXPECT_TRUE(report.safe);
+  ASSERT_EQ(report.log.size(), 1u);
+  EXPECT_FALSE(report.log[0].applied);
 }
 
 }  // namespace

@@ -192,5 +192,56 @@ TEST(RouteControl, SkippedAltEvictionTripsTheLint) {
   EXPECT_TRUE(fired) << "lint failed to catch a stale alt after withdrawal";
 }
 
+TEST(RouteControl, DeltaMirrorTracksWithdrawalsAndSessions) {
+  auto f = Fixture::make(17, /*mifo=*/true);
+  f.em.net->run_until(0.03);
+  RouteController ctl(f.em, f.g);
+  const auto& victim = f.em.hosts[0];
+
+  // The mirror starts converged: every host prefix tracked, no mismatches.
+  EXPECT_TRUE(ctl.delta().tracks(victim.as));
+  EXPECT_TRUE(ctl.delta().differential_check().empty());
+  EXPECT_EQ(ctl.delta_events(), 0u);
+
+  // Withdraw: exactly one destination recomputed, the mirror agrees with
+  // a from-scratch rebuild, and the published segment is empty.
+  ASSERT_TRUE(ctl.withdraw(victim.as));
+  EXPECT_EQ(ctl.delta_events(), 1u);
+  EXPECT_TRUE(ctl.last_delta_stats().applied);
+  EXPECT_EQ(ctl.last_delta_stats().recomputed, 1u);
+  EXPECT_TRUE(ctl.delta().withdrawn(victim.as));
+  EXPECT_EQ(ctl.delta().segment(victim.as)->store.num_reachable(), 0u);
+  EXPECT_TRUE(ctl.delta().differential_check().empty());
+
+  ASSERT_TRUE(ctl.reannounce(victim.as));
+  EXPECT_EQ(ctl.delta_events(), 2u);
+  EXPECT_FALSE(ctl.delta().withdrawn(victim.as));
+  EXPECT_GT(ctl.delta().segment(victim.as)->store.num_reachable(), 0u);
+
+  // Session flap: the mirror masks the edge, stays oracle-identical, and
+  // the recomputed set is a strict subset of the tracked universe unless
+  // every tracked destination actually held a row across the edge.
+  const AsId a = victim.as;
+  const AsId b = f.g.neighbors(a).front().as;
+  ASSERT_TRUE(ctl.session_down(a, b));
+  EXPECT_EQ(ctl.delta_events(), 3u);
+  EXPECT_TRUE(ctl.delta().session_disabled(a, b));
+  EXPECT_TRUE(ctl.delta().differential_check().empty());
+  const auto& st = ctl.last_delta_stats();
+  EXPECT_EQ(st.recomputed + st.patched + st.unchanged, st.destinations);
+  EXPECT_EQ(ctl.delta_recomputed(),
+            1u + 1u + ctl.last_delta_stats().recomputed);
+  EXPECT_EQ(ctl.delta_patched(), ctl.last_delta_stats().patched);
+
+  ASSERT_TRUE(ctl.session_up(a, b));
+  EXPECT_FALSE(ctl.delta().session_disabled(a, b));
+  EXPECT_TRUE(ctl.delta().differential_check().empty());
+
+  // Duplicate session events are no-ops at the controller level too.
+  ASSERT_TRUE(ctl.session_down(a, b));
+  EXPECT_FALSE(ctl.session_down(b, a));
+  ASSERT_TRUE(ctl.session_up(b, a));
+}
+
 }  // namespace
 }  // namespace mifo::chaos

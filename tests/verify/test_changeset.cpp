@@ -157,7 +157,22 @@ TEST(ChangeSet, DirtyMappingPerRecordKind) {
   EXPECT_TRUE(cs.dirty_destinations(routers).empty());
   EXPECT_EQ(cs.port_dirty_destinations(routers), expect);
 
-  EXPECT_EQ(cs.to_string(), "fib=0 ports=1 configs=0 daemons=0");
+  EXPECT_EQ(cs.to_string(), "fib=0 ports=1 configs=0 daemons=0 routing=0");
+
+  // A routing-plane change (delta route recompute) dirties its prefix for
+  // the graph proofs even when no FIB row moved.
+  cs.clear();
+  cs.note_routing(dst1);
+  EXPECT_FALSE(cs.empty());
+  EXPECT_EQ(cs.dirty_destinations(routers), std::vector<dp::Addr>{dst1});
+  EXPECT_TRUE(cs.port_dirty_destinations(routers).empty());
+
+  // ...and dedups with the FIB-derived dirty set.
+  cs.note_fib(RouterId(2), dst1);
+  EXPECT_EQ(cs.dirty_destinations(routers), std::vector<dp::Addr>{dst1});
+  EXPECT_EQ(cs.to_string(), "fib=1 ports=0 configs=0 daemons=0 routing=1");
+  cs.clear();
+  EXPECT_TRUE(cs.empty());
 }
 
 TEST(ChangeSet, DrainMovesAndClearsTheLog) {

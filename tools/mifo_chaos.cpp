@@ -51,6 +51,7 @@ struct Options {
   std::size_t dests = 6;
   std::size_t flows = 48;
   bool mutate_valley = false;
+  bool mutate_stale_route = false;
   bool print_plan = false;
   bool quiet = false;
   chaos::VerifyMode verify_mode = chaos::VerifyMode::Full;
@@ -62,7 +63,7 @@ void usage(const char* argv0) {
       "usage: %s [--plan FILE | --gen] [--topo FILE] [--ases N] [--seed S]\n"
       "          [--duration T] [--rate R] [--mttr M] [--dests K]\n"
       "          [--flows F] [--verify-mode MODE] [--mutate-valley]\n"
-      "          [--print-plan] [-q]\n"
+      "          [--mutate-stale-route] [--print-plan] [-q]\n"
       "  --plan FILE     scripted chaos plan (docs/CHAOS.md DSL)\n"
       "  --gen           seeded random plan (Poisson faults, default)\n"
       "  --topo FILE     CAIDA-style topology dump (default: generated)\n"
@@ -79,6 +80,11 @@ void usage(const char* argv0) {
       "                  provers as an oracle and fails on any divergence\n"
       "  --mutate-valley plant an Eq.3-violating deflection ring mid-run;\n"
       "                  the verifier must catch it (expects exit 2)\n"
+      "  --mutate-stale-route\n"
+      "                  withdraw an origin but skip its delta route\n"
+      "                  recompute; forces differential mode, whose\n"
+      "                  from-scratch rebuild must catch the stale CSR\n"
+      "                  segment (expects exit 2)\n"
       "  --print-plan    dump the effective plan before running\n"
       "  -q              verdict only\n",
       argv0);
@@ -124,6 +130,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--mutate-valley") {
       opt.mutate_valley = true;
+    } else if (arg == "--mutate-stale-route") {
+      opt.mutate_stale_route = true;
+      // plant_stale_route is only observable by the route differential
+      // oracle, so the flag implies the mode that can catch it.
+      opt.verify_mode = chaos::VerifyMode::Differential;
     } else if (arg == "--print-plan") {
       opt.print_plan = true;
     } else if (arg == "-q") {
@@ -292,6 +303,13 @@ int main(int argc, char** argv) {
     plan.events.push_back(ev);
     plan.normalize();
   }
+  if (opt.mutate_stale_route) {
+    chaos::Event ev;
+    ev.t = 0.6 * plan.duration;
+    ev.kind = chaos::EventKind::PlantStaleRoute;
+    plan.events.push_back(ev);
+    plan.normalize();
+  }
   if (opt.print_plan) std::printf("%s", chaos::format_plan(plan).c_str());
 
   obs::Registry reg;
@@ -333,6 +351,13 @@ int main(int argc, char** argv) {
                   report.total_dirty_destinations, report.total_cache_hits,
                   report.checks_run, chaos::to_string(report.verify_mode),
                   report.differential_mismatches);
+    }
+    if (report.route_events != 0) {
+      std::printf("route delta: %zu events, %zu destinations recomputed, "
+                  "%zu patched, %zu kept, %zu differential mismatches\n",
+                  report.route_events, report.total_route_recomputed,
+                  report.total_route_patched, report.total_route_unchanged,
+                  report.route_differential_mismatches);
     }
     std::size_t done = 0;
     for (const auto& f : net.flows()) done += f.done ? 1 : 0;
